@@ -1,0 +1,195 @@
+package adapipe_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"adapipe"
+)
+
+func TestPlanAdaPipeQuickstart(t *testing.T) {
+	plan, err := adapipe.PlanAdaPipe(
+		adapipe.GPT3(),
+		adapipe.ClusterA(),
+		adapipe.Strategy{TP: 8, PP: 8, DP: 1},
+		adapipe.TrainingConfig{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 8 {
+		t.Fatalf("%d stages", len(plan.Stages))
+	}
+	res, err := adapipe.Simulate(plan, adapipe.Sched1F1B, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterTime <= 0 {
+		t.Error("zero iteration time")
+	}
+	if res.MaxPeakMem() > adapipe.ClusterA().Device.MemCapacity {
+		t.Error("plan exceeds capacity")
+	}
+	desc := adapipe.Describe(plan)
+	for _, want := range []string{"GPT-3 175B", "stage", "GiB", "(8, 8, 1)"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestSimulateAllSchedules(t *testing.T) {
+	plan, err := adapipe.PlanAdaPipe(
+		adapipe.TinyModel(8),
+		adapipe.ClusterA(),
+		adapipe.Strategy{TP: 1, PP: 4, DP: 1},
+		adapipe.TrainingConfig{GlobalBatch: 16, MicroBatch: 1, SeqLen: 1024},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[adapipe.ScheduleKind]float64{}
+	for _, kind := range []adapipe.ScheduleKind{adapipe.Sched1F1B, adapipe.SchedGPipe, adapipe.SchedChimera, adapipe.SchedChimeraD} {
+		res, err := adapipe.Simulate(plan, kind, true)
+		if err != nil {
+			t.Fatalf("kind %d: %v", int(kind), err)
+		}
+		times[kind] = res.IterTime
+		if g := adapipe.Gantt(res, 4, 60); !strings.Contains(g, "dev  0") {
+			t.Error("gantt malformed")
+		}
+		data, err := adapipe.ChromeTrace(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(data) {
+			t.Error("chrome trace is not valid JSON")
+		}
+	}
+	if times[adapipe.SchedChimera] <= times[adapipe.Sched1F1B] {
+		t.Error("Chimera should lose to 1F1B at n >> p")
+	}
+}
+
+func TestBestAndMethods(t *testing.T) {
+	if len(adapipe.Methods()) != 8 {
+		t.Fatal("want 8 methods")
+	}
+	m, err := adapipe.MethodByName("AdaPipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := adapipe.ClusterA()
+	cl.Nodes = 1
+	best, all := adapipe.Best(m, adapipe.TinyModel(8), cl, 8,
+		adapipe.TrainingConfig{GlobalBatch: 16, MicroBatch: 1, SeqLen: 1024}, adapipe.DefaultOptions())
+	if !best.Feasible() {
+		t.Fatal("no feasible strategy")
+	}
+	if len(all) == 0 {
+		t.Fatal("no strategies evaluated")
+	}
+	if len(adapipe.EnumerateStrategies(8)) == 0 {
+		t.Fatal("no strategies enumerated")
+	}
+}
+
+func TestTrainFacade(t *testing.T) {
+	res, err := adapipe.Train(adapipe.TrainRunConfig{
+		Net:    adapipe.TrainConfig{Layers: 2, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: 12, Seed: 1},
+		Bounds: []int{0, 3, 6},
+		Saves: [][]adapipe.SaveSpec{
+			{adapipe.SaveNone(), adapipe.SaveNone()},
+			{adapipe.SaveAll(), adapipe.SaveAll()},
+		},
+		Steps: 3, MicroBatches: 4, LR: 1e-3, DataSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != 3 {
+		t.Fatalf("%d losses", len(res.Losses))
+	}
+}
+
+func TestTrainSpecFromPlan(t *testing.T) {
+	m := adapipe.TinyModel(4)
+	plan, err := adapipe.PlanAdaPipe(m, adapipe.ClusterA(),
+		adapipe.Strategy{TP: 1, PP: 2, DP: 1},
+		adapipe.TrainingConfig{GlobalBatch: 8, MicroBatch: 1, SeqLen: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, saves := adapipe.TrainSpecFromPlan(plan, m)
+	if len(bounds) != 3 {
+		t.Fatalf("bounds %v", bounds)
+	}
+	if bounds[0] != 0 || bounds[2] != len(m.LayerSequence()) {
+		t.Errorf("bounds %v do not span the sequence", bounds)
+	}
+	if len(saves) != 2 {
+		t.Fatalf("%d save stages", len(saves))
+	}
+}
+
+func TestEvaluateOOM(t *testing.T) {
+	m, _ := adapipe.MethodByName("DAPPLE-Non")
+	o := adapipe.Evaluate(m, adapipe.GPT3(), adapipe.ClusterA(),
+		adapipe.Strategy{TP: 8, PP: 8, DP: 1},
+		adapipe.TrainingConfig{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384},
+		adapipe.DefaultOptions())
+	if !o.OOM {
+		t.Error("expected OOM")
+	}
+}
+
+func TestDescribeSaves(t *testing.T) {
+	plan, err := adapipe.PlanAdaPipe(adapipe.TinyModel(4), adapipe.ClusterA(),
+		adapipe.Strategy{TP: 1, PP: 2, DP: 1},
+		adapipe.TrainingConfig{GlobalBatch: 8, MicroBatch: 1, SeqLen: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := adapipe.DescribeSaves(plan)
+	for _, want := range []string{"Attention/QProj", "FFN/FFNUp", "unit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DescribeSaves missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrainDataParallelFacade(t *testing.T) {
+	rc := adapipe.TrainRunConfig{
+		Net:    adapipe.TrainConfig{Layers: 1, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: 12, Seed: 1},
+		Bounds: []int{0, 4},
+		Steps:  2, MicroBatches: 4, LR: 1e-3, DataSeed: 1,
+	}
+	res, err := adapipe.TrainDataParallel(2, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != 2 {
+		t.Fatalf("%d losses", len(res.Losses))
+	}
+}
+
+func TestMemoryCSVFacade(t *testing.T) {
+	plan, err := adapipe.PlanAdaPipe(adapipe.TinyModel(4), adapipe.ClusterA(),
+		adapipe.Strategy{TP: 1, PP: 2, DP: 1},
+		adapipe.TrainingConfig{GlobalBatch: 8, MicroBatch: 1, SeqLen: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adapipe.SimulateWithOptions(plan, adapipe.Sched1F1B, adapipe.SimOptions{Memory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := adapipe.MemoryCSV(res)
+	if !strings.HasPrefix(csv, "device,time_sec,bytes\n") {
+		t.Errorf("csv header wrong: %q", csv[:40])
+	}
+	if len(res.MemTimeline) != 2 {
+		t.Errorf("%d curves", len(res.MemTimeline))
+	}
+}

@@ -1,0 +1,330 @@
+package adapipe_test
+
+import (
+	"testing"
+
+	"adapipe"
+	"adapipe/internal/core"
+	"adapipe/internal/experiments"
+	"adapipe/internal/hardware"
+	"adapipe/internal/model"
+	"adapipe/internal/parallel"
+	"adapipe/internal/partition"
+	"adapipe/internal/recompute"
+)
+
+// One benchmark per table and figure of the paper's evaluation: each run
+// regenerates the corresponding rows/series on the simulated substrate and
+// reports the wall time of doing so. Run `go test -bench=. -benchmem` and
+// compare the printed shapes against EXPERIMENTS.md.
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	cfg := experiments.DefaultFigure10Config()
+	cfg.Steps = 50 // a full 200-step curve per benchmark iteration is excessive
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Component benchmarks: the costs behind the search itself. ----
+
+func gptPlanner(b *testing.B, opts core.Options) *core.Planner {
+	b.Helper()
+	pl, err := core.NewPlanner(model.GPT3_175B(), hardware.ClusterA(),
+		parallel.Strategy{TP: 8, PP: 8, DP: 1},
+		parallel.Config{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384}, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pl
+}
+
+// BenchmarkSearchAdaPipe times the full two-level DP for GPT-3 (the paper
+// reports "only seconds" for the whole search, §5.3).
+func BenchmarkSearchAdaPipe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pl := gptPlanner(b, core.DefaultOptions())
+		if _, err := pl.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIsomorphism measures the search without the §5.3
+// isomorphic-range cache: every (s,i,j) range solves its own knapsack.
+func BenchmarkAblationIsomorphism(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.DisableIsomorphism = true
+	for i := 0; i < b.N; i++ {
+		pl := gptPlanner(b, opts)
+		if _, err := pl.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGCD measures the search without the §5.3 GCD capacity
+// reduction (the knapsack runs at raw quantum granularity).
+func BenchmarkAblationGCD(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.DisableGCD = true
+	for i := 0; i < b.N; i++ {
+		pl := gptPlanner(b, opts)
+		if _, err := pl.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFineQuantum measures the search at a 16x finer knapsack
+// quantum (DP accuracy/speed trade-off called out in DESIGN.md).
+func BenchmarkAblationFineQuantum(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.MaxDPStates = 65536
+	for i := 0; i < b.N; i++ {
+		pl := gptPlanner(b, opts)
+		if _, err := pl.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKnapsack times one stage-level recomputation DP at realistic
+// sizes (a 24-layer GPT-3 stage).
+func BenchmarkKnapsack(b *testing.B) {
+	groups := []recompute.Group{
+		{Key: "Attention/LayerNorm", FwdTime: 1e-4, Bytes: 50 << 20, Count: 12},
+		{Key: "Attention/QProj", FwdTime: 3e-3, Bytes: 50 << 20, Count: 12},
+		{Key: "Attention/KProj", FwdTime: 3e-3, Bytes: 50 << 20, Count: 12},
+		{Key: "Attention/VProj", FwdTime: 3e-3, Bytes: 50 << 20, Count: 12},
+		{Key: "Attention/Core", FwdTime: 9e-3, Bytes: 51 << 20, Count: 12},
+		{Key: "Attention/Out", FwdTime: 3e-3, Bytes: 50 << 20, Count: 12, AlwaysSaved: true},
+		{Key: "FFN/LayerNorm", FwdTime: 1e-4, Bytes: 50 << 20, Count: 12},
+		{Key: "FFN/Up", FwdTime: 1.2e-2, Bytes: 200 << 20, Count: 12},
+		{Key: "FFN/Act", FwdTime: 2e-4, Bytes: 200 << 20, Count: 12},
+		{Key: "FFN/Down", FwdTime: 1.2e-2, Bytes: 50 << 20, Count: 12, AlwaysSaved: true},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol := recompute.Optimize(groups, 8<<30, recompute.Options{Quantum: 1 << 20})
+		if !sol.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkPartitionDP times Algorithm 1 alone over the GPT-3 layer
+// sequence with a synthetic cost function (no knapsack inside).
+func BenchmarkPartitionDP(b *testing.B) {
+	const L, p, n = 194, 8, 32
+	cost := func(s, i, j int) (float64, float64, bool) {
+		layers := float64(j - i + 1)
+		return layers * 0.03, layers * 0.08, true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Solve(L, p, n, cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate1F1B times one simulated GPT-3 iteration.
+func BenchmarkSimulate1F1B(b *testing.B) {
+	plan, err := adapipe.PlanAdaPipe(adapipe.GPT3(), adapipe.ClusterA(),
+		adapipe.Strategy{TP: 8, PP: 8, DP: 1},
+		adapipe.TrainingConfig{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adapipe.Simulate(plan, adapipe.Sched1F1B, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateChimera times the greedy bidirectional schedule.
+func BenchmarkSimulateChimera(b *testing.B) {
+	plan, err := adapipe.PlanAdaPipe(adapipe.GPT3(), adapipe.ClusterA(),
+		adapipe.Strategy{TP: 8, PP: 8, DP: 1},
+		adapipe.TrainingConfig{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adapipe.Simulate(plan, adapipe.SchedChimera, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainStep times one real pipelined training iteration of the
+// micro-transformer (execution-engine substrate).
+func BenchmarkTrainStep(b *testing.B) {
+	res, err := adapipe.Train(adapipe.TrainRunConfig{
+		Net:    adapipe.TrainConfig{Layers: 4, Dim: 64, Heads: 4, FFN: 128, Vocab: 64, Seq: 48, Seed: 1},
+		Bounds: []int{0, 5, 10},
+		Steps:  1, MicroBatches: 8, LR: 1e-3, DataSeed: 1,
+	})
+	if err != nil || len(res.Losses) != 1 {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adapipe.Train(adapipe.TrainRunConfig{
+			Net:    adapipe.TrainConfig{Layers: 4, Dim: 64, Heads: 4, FFN: 128, Vocab: 64, Seq: 48, Seed: 1},
+			Bounds: []int{0, 5, 10},
+			Steps:  1, MicroBatches: 8, LR: 1e-3, DataSeed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation study.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterleaved regenerates the supplementary interleaved-1F1B study.
+func BenchmarkInterleaved(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Interleaved(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationExactPartition times the Pareto-frontier partition DP on
+// the full GPT-3 search (vs BenchmarkSearchAdaPipe's Algorithm 1).
+func BenchmarkAblationExactPartition(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.Partition = core.PartitionExact
+	for i := 0; i < b.N; i++ {
+		pl := gptPlanner(b, opts)
+		if _, err := pl.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLayerGranularity times the whole-layer (vPipe-style)
+// recomputation search.
+func BenchmarkAblationLayerGranularity(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.Recompute = core.RecomputeLayerLevel
+	opts.Partition = core.PartitionEven
+	for i := 0; i < b.N; i++ {
+		pl := gptPlanner(b, opts)
+		if _, err := pl.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequenceSweep regenerates the memory-pressure trend study.
+func BenchmarkSequenceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SequenceSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelAccuracy regenerates the cost-model accuracy study.
+func BenchmarkModelAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ModelAccuracy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

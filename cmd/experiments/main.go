@@ -1,0 +1,112 @@
+// Command experiments regenerates the tables and figures of the AdaPipe
+// paper's evaluation (§7) on the simulated substrate and prints them in the
+// paper's layout.
+//
+//	experiments -run all
+//	experiments -run fig6
+//	experiments -run table3,table4,fig10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adapipe/internal/experiments"
+)
+
+var runners = []struct {
+	name string
+	run  func() (string, error)
+}{
+	{"fig1", func() (string, error) {
+		r, err := experiments.Figure1()
+		return experiments.FormatFigure1(r), err
+	}},
+	{"fig2", func() (string, error) {
+		r, err := experiments.Figure2()
+		return experiments.FormatFigure2(r), err
+	}},
+	{"fig3", func() (string, error) {
+		r, err := experiments.Figure3()
+		return experiments.FormatFigure3(r), err
+	}},
+	{"fig5", func() (string, error) {
+		r, err := experiments.Figure5()
+		return experiments.FormatEndToEnd("Figure 5: Llama 2 end-to-end (cluster A, 32 GPUs)", r), err
+	}},
+	{"fig6", func() (string, error) {
+		r, err := experiments.Figure6()
+		return experiments.FormatEndToEnd("Figure 6: GPT-3 end-to-end (cluster A, 64 GPUs)", r), err
+	}},
+	{"fig7", func() (string, error) {
+		r, err := experiments.Figure7()
+		return experiments.FormatFigure7(r), err
+	}},
+	{"table3", func() (string, error) {
+		r, err := experiments.Table3()
+		return experiments.FormatTable3(r), err
+	}},
+	{"fig8", func() (string, error) {
+		r, err := experiments.Figure8()
+		return experiments.FormatFigure8(r), err
+	}},
+	{"fig9", func() (string, error) {
+		r, err := experiments.Figure9()
+		return experiments.FormatFigure9(r), err
+	}},
+	{"table4", func() (string, error) {
+		r, err := experiments.Table4()
+		return experiments.FormatTable4(r), err
+	}},
+	{"fig10", func() (string, error) {
+		r, err := experiments.Figure10(experiments.DefaultFigure10Config())
+		return experiments.FormatFigure10(r), err
+	}},
+	{"ablation", func() (string, error) {
+		r, err := experiments.Ablation()
+		return experiments.FormatAblation(r), err
+	}},
+	{"interleaved", func() (string, error) {
+		r, err := experiments.Interleaved()
+		return experiments.FormatInterleaved(r), err
+	}},
+	{"sweep", func() (string, error) {
+		r, err := experiments.SequenceSweep()
+		return experiments.FormatSweep(r), err
+	}},
+	{"accuracy", func() (string, error) {
+		r, err := experiments.ModelAccuracy()
+		return experiments.FormatAccuracy(r), err
+	}},
+}
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids (fig1,fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,table3,table4,ablation,interleaved,sweep,accuracy) or 'all'")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *run != "all" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, r := range runners {
+		if *run != "all" && !want[r.name] {
+			continue
+		}
+		out, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s ====\n%s\n", r.name, out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing matched -run=%s\n", *run)
+		os.Exit(1)
+	}
+}

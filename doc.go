@@ -1,0 +1,31 @@
+// Package adapipe is a from-scratch Go reproduction of AdaPipe (Sun et al.,
+// "AdaPipe: Optimizing Pipeline Parallelism with Adaptive Recomputation and
+// Partitioning", ASPLOS 2024): a search engine that jointly optimizes
+// per-stage activation recomputation and pipeline stage partitioning for
+// 1F1B pipeline-parallel training of large transformers.
+//
+// The package exposes three layers of functionality:
+//
+//   - Planning. NewPlanner runs the paper's two-level dynamic program — a
+//     per-stage knapsack over computation units (§4) inside a stage-boundary
+//     DP over the layer sequence (§5, Algorithm 1) — and returns a Plan with
+//     each stage's layer range, save/recompute set, modeled times and memory
+//     breakdown. GPT3 and Llama2 return the two evaluated architectures;
+//     ClusterA and ClusterB the two evaluated clusters (A100 and Ascend 910
+//     analytical device models).
+//
+//   - Simulation. Simulate executes a plan on a discrete-event pipeline
+//     simulator under 1F1B, GPipe, Chimera or ChimeraD scheduling, yielding
+//     iteration time, per-device peak memory, bubble time and a timeline.
+//     Methods/Evaluate/Best reproduce the paper's baseline comparison
+//     methodology.
+//
+//   - Execution. The Train* helpers run a real (pure-Go) pipelined
+//     transformer trainer whose unit-level recomputation follows a Plan,
+//     demonstrating that recomputation and repartitioning leave gradients
+//     bit-identical (§7.5, Figure 10).
+//
+// Every table and figure of the paper's evaluation can be regenerated via
+// the benchmarks in bench_test.go or the cmd/experiments binary; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package adapipe

@@ -1,0 +1,60 @@
+// gpt3search sweeps every valid 3D parallelism strategy for GPT-3 on 64
+// A100s (the paper's Table 3 methodology) and reports how AdaPipe's best
+// configuration compares with the baselines at each strategy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adapipe"
+)
+
+func main() {
+	m := adapipe.GPT3()
+	cluster := adapipe.ClusterA()
+	training := adapipe.TrainingConfig{GlobalBatch: 128, MicroBatch: 1, SeqLen: 4096}
+	const devices = 64
+
+	methods := []string{"DAPPLE-Full", "DAPPLE-Non", "AdaPipe"}
+	fmt.Printf("%-12s", "(t, p, d)")
+	for _, name := range methods {
+		fmt.Printf(" %14s", name)
+	}
+	fmt.Println()
+
+	for _, strat := range adapipe.EnumerateStrategies(devices) {
+		if _, err := training.MicroBatches(strat); err != nil {
+			continue
+		}
+		fmt.Printf("%-12s", strat)
+		for _, name := range methods {
+			meth, err := adapipe.MethodByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			o := adapipe.Evaluate(meth, m, cluster, strat, training, adapipe.DefaultOptions())
+			if o.Feasible() {
+				fmt.Printf(" %13.2fs", o.IterTime)
+			} else {
+				fmt.Printf(" %14s", "OOM")
+			}
+		}
+		fmt.Println()
+	}
+
+	best, _ := adapipe.Best(mustMethod("AdaPipe"), m, cluster, devices, training, adapipe.DefaultOptions())
+	if !best.Feasible() {
+		log.Fatal("no feasible AdaPipe strategy")
+	}
+	fmt.Printf("\nbest AdaPipe strategy: %s at %.2fs\n\n", best.Strategy, best.IterTime)
+	fmt.Print(adapipe.Describe(best.Plan))
+}
+
+func mustMethod(name string) adapipe.Method {
+	m, err := adapipe.MethodByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,40 @@
+// llama2ascend plans Llama 2 70B training on the 32 GB Ascend 910 cluster
+// (cluster B), where memory pressure is much tighter than on the A100s: the
+// no-recomputation baseline OOMs at sequence length 4096 and AdaPipe's
+// per-stage save sets become strongly uneven.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adapipe"
+)
+
+func main() {
+	m := adapipe.Llama2()
+	cluster := adapipe.ClusterB()
+	// The paper's cluster-B setting: TP 4, PP 8, batch scaled to DP.
+	strategy := adapipe.Strategy{TP: 4, PP: 8, DP: 4}
+	training := adapipe.TrainingConfig{GlobalBatch: 256, MicroBatch: 1, SeqLen: 4096}
+
+	for _, name := range []string{"DAPPLE-Full", "DAPPLE-Non", "Even Partitioning", "AdaPipe"} {
+		meth, err := adapipe.MethodByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := adapipe.Evaluate(meth, m, cluster, strategy, training, adapipe.DefaultOptions())
+		if !o.Feasible() {
+			fmt.Printf("%-18s OOM (32 GiB devices)\n", name)
+			continue
+		}
+		fmt.Printf("%-18s %8.2fs  peak %.1f GiB\n", name, o.IterTime, float64(o.Sim.MaxPeakMem())/(1<<30))
+	}
+
+	plan, err := adapipe.PlanAdaPipe(m, cluster, strategy, training)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== AdaPipe plan on Ascend 910 ===")
+	fmt.Print(adapipe.Describe(plan))
+}

@@ -1,0 +1,45 @@
+// Quickstart: plan GPT-3 175B training on the A100 cluster with AdaPipe and
+// compare the searched plan against the full-recomputation baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adapipe"
+)
+
+func main() {
+	m := adapipe.GPT3()
+	cluster := adapipe.ClusterA()
+	strategy := adapipe.Strategy{TP: 8, PP: 8, DP: 1}
+	training := adapipe.TrainingConfig{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384}
+
+	// Search: adaptive recomputation (per-stage knapsack) + adaptive
+	// partitioning (stage-boundary DP).
+	plan, err := adapipe.PlanAdaPipe(m, cluster, strategy, training)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== AdaPipe plan ===")
+	fmt.Print(adapipe.Describe(plan))
+
+	// Execute the plan on the discrete-event pipeline simulator.
+	res, err := adapipe.Simulate(plan, adapipe.Sched1F1B, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated iteration: %.3fs (bubble ratio %.3f)\n", res.IterTime, res.BubbleRatio())
+
+	// Compare against the DAPPLE-Full baseline on the same strategy.
+	baselineMethod, err := adapipe.MethodByName("DAPPLE-Full")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := adapipe.Evaluate(baselineMethod, m, cluster, strategy, training, adapipe.DefaultOptions())
+	if !base.Feasible() {
+		log.Fatalf("baseline infeasible: %v", base.Err)
+	}
+	fmt.Printf("DAPPLE-Full baseline: %.3fs  →  AdaPipe speedup %.2fx\n",
+		base.IterTime, base.IterTime/res.IterTime)
+}

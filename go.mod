@@ -1,0 +1,3 @@
+module adapipe
+
+go 1.22

@@ -1,0 +1,570 @@
+// Package core implements the AdaPipe search engine (§6): it profiles a model
+// analytically, runs the two-level dynamic program — per-stage adaptive
+// recomputation (§4) inside adaptive stage partitioning (§5) — and produces
+// an executable Plan with a per-stage layer range, save/recompute strategy,
+// memory breakdown and modeled phase times.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"adapipe/internal/hardware"
+	"adapipe/internal/memory"
+	"adapipe/internal/model"
+	"adapipe/internal/parallel"
+	"adapipe/internal/partition"
+	"adapipe/internal/profile"
+	"adapipe/internal/recompute"
+)
+
+// RecomputeMode selects the recomputation policy.
+type RecomputeMode int
+
+const (
+	// RecomputeAdaptive searches the per-stage save set with the §4 DP.
+	RecomputeAdaptive RecomputeMode = iota
+	// RecomputeFull always recomputes decoder layers, saving only each
+	// layer's input (the -Full baselines).
+	RecomputeFull
+	// RecomputeNone saves every intermediate (the -Non baselines).
+	RecomputeNone
+	// RecomputeLayerLevel searches save/recompute decisions at whole-layer
+	// granularity, the coarse policy of prior work (vPipe-style, §2.2):
+	// each Attention/FFN layer either keeps all its intermediates or
+	// recomputes all of them. An ablation quantifying the value of
+	// AdaPipe's unit granularity.
+	RecomputeLayerLevel
+)
+
+// String returns the mode name.
+func (m RecomputeMode) String() string {
+	switch m {
+	case RecomputeAdaptive:
+		return "adaptive"
+	case RecomputeFull:
+		return "full"
+	case RecomputeNone:
+		return "none"
+	case RecomputeLayerLevel:
+		return "layer"
+	default:
+		return fmt.Sprintf("RecomputeMode(%d)", int(m))
+	}
+}
+
+// PartitionMode selects the stage-partitioning policy.
+type PartitionMode int
+
+const (
+	// PartitionAdaptive runs Algorithm 1.
+	PartitionAdaptive PartitionMode = iota
+	// PartitionEven splits the layer sequence uniformly (the baselines and
+	// the Even Partitioning configuration of §7).
+	PartitionEven
+	// PartitionExact runs the Pareto-frontier variant of Algorithm 1,
+	// which is globally optimal under the §5.1 cost model (an extension:
+	// it quantifies how close the paper's near-optimal DP gets).
+	PartitionExact
+)
+
+// String returns the mode name.
+func (m PartitionMode) String() string {
+	switch m {
+	case PartitionAdaptive:
+		return "adaptive"
+	case PartitionEven:
+		return "even"
+	case PartitionExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("PartitionMode(%d)", int(m))
+	}
+}
+
+// Options configures the planner.
+type Options struct {
+	// Memory selects the precision regime of the static memory model.
+	Memory memory.Options
+	// MemoryReserve is the fraction of device memory withheld from the
+	// adaptive-recomputation budget — the paper runs the DP against a
+	// conservative 70 GB of the 80 GB capacity (§7.4). Baselines are
+	// checked against the full capacity.
+	MemoryReserve float64
+	// Quantum is the minimum knapsack rounding granularity in bytes.
+	Quantum int64
+	// MaxDPStates caps the knapsack capacity in quanta; the quantum grows
+	// (in powers of two) until the budget fits, trading a little precision
+	// for search speed. Zero selects 4096.
+	MaxDPStates int64
+	// DisableGCD turns off the §5.3 GCD reduction (ablation).
+	DisableGCD bool
+	// DisableIsomorphism turns off the §5.3 isomorphic-range cache
+	// (ablation): every (s,i,j) range is solved independently.
+	DisableIsomorphism bool
+	// Recompute selects the recomputation policy.
+	Recompute RecomputeMode
+	// Partition selects the partitioning policy.
+	Partition PartitionMode
+	// MaxFrontier caps the Pareto frontier of PartitionExact per DP cell
+	// (zero selects 128). Larger values approach true optimality at the
+	// cost of search time.
+	MaxFrontier int
+	// IgnoreMemoryLimit plans full/no-recomputation baselines even when
+	// their modeled memory exceeds capacity, so the simulator can estimate
+	// the peak consumption of OOM configurations (Figure 8). It has no
+	// effect on the adaptive search, which needs the constraint.
+	IgnoreMemoryLimit bool
+}
+
+// DefaultOptions returns the configuration used in the evaluation.
+func DefaultOptions() Options {
+	return Options{
+		Memory:        memory.Default(),
+		MemoryReserve: 0.15, // ~68 of 80 GB, the paper's conservative 70 GB setting
+		MaxDPStates:   4096,
+	}
+}
+
+// StagePlan is the plan of one pipeline stage.
+type StagePlan struct {
+	// Stage is the stage index (0-based).
+	Stage int
+	// LayerLo and LayerHi delimit the half-open layer range [lo, hi).
+	LayerLo, LayerHi int
+	// Fwd and Bwd are the modeled per-micro-batch times in seconds; Bwd
+	// includes the recomputation overhead of the chosen strategy.
+	Fwd, Bwd float64
+	// Recompute is the chosen save/recompute strategy.
+	Recompute recompute.Solution
+	// Mem is the modeled peak memory.
+	Mem memory.Breakdown
+}
+
+// Layers returns the number of layers assigned to the stage.
+func (sp StagePlan) Layers() int { return sp.LayerHi - sp.LayerLo }
+
+// Plan is a complete AdaPipe execution plan.
+type Plan struct {
+	// Model names the planned architecture.
+	Model string
+	// Strategy is the 3D parallelism configuration.
+	Strategy parallel.Strategy
+	// SeqLen and MicroBatch echo the training configuration.
+	SeqLen, MicroBatch int
+	// MicroBatches is n, the per-replica micro-batch count.
+	MicroBatches int
+	// Recompute and Partition record the planning modes.
+	Recompute RecomputeMode
+	// Partition records the partitioning mode.
+	Partition PartitionMode
+	// Stages holds one entry per pipeline stage.
+	Stages []StagePlan
+	// Total, W, E, M are the modeled iteration time and phase values of
+	// the §5.1 cost model (communication excluded; the simulator adds it).
+	Total, W, E, M float64
+	// CommFwd and CommBwd are the per-micro-batch stage-boundary transfer
+	// times the simulator charges.
+	CommFwd, CommBwd float64
+}
+
+// Fwd returns the per-stage forward times.
+func (p *Plan) Fwd() []float64 {
+	out := make([]float64, len(p.Stages))
+	for i, s := range p.Stages {
+		out[i] = s.Fwd
+	}
+	return out
+}
+
+// Bwd returns the per-stage backward times (including recomputation).
+func (p *Plan) Bwd() []float64 {
+	out := make([]float64, len(p.Stages))
+	for i, s := range p.Stages {
+		out[i] = s.Bwd
+	}
+	return out
+}
+
+// SavedPerMicro returns the per-stage activation bytes pinned per in-flight
+// micro-batch.
+func (p *Plan) SavedPerMicro() []int64 {
+	out := make([]int64, len(p.Stages))
+	for i, s := range p.Stages {
+		out[i] = s.Mem.SavedPerMicro
+	}
+	return out
+}
+
+// StaticMem returns the per-stage static memory (params, grads, optimizer
+// states, recompute buffer).
+func (p *Plan) StaticMem() []int64 {
+	out := make([]int64, len(p.Stages))
+	for i, s := range p.Stages {
+		out[i] = s.Mem.Static()
+	}
+	return out
+}
+
+// Planner runs the AdaPipe search for one (model, cluster, strategy,
+// training-config) tuple.
+type Planner struct {
+	cfg     model.Config
+	cluster hardware.Cluster
+	strat   parallel.Strategy
+	train   parallel.Config
+	opts    Options
+
+	prof   *profile.Profile
+	layers []model.Layer
+	n      int
+
+	cache map[costKey]stageCost
+	// Stats counts knapsack solves for the ablation benchmarks.
+	Stats struct {
+		KnapsackRuns    int
+		CacheHits       int
+		CostEvaluations int
+	}
+}
+
+type costKey struct {
+	s, i, j int
+}
+
+type stageCost struct {
+	fwd, bwd float64
+	sol      recompute.Solution
+	mem      memory.Breakdown
+	ok       bool
+}
+
+// NewPlanner validates the inputs, profiles the model analytically and
+// returns a planner.
+func NewPlanner(cfg model.Config, cluster hardware.Cluster, strat parallel.Strategy, train parallel.Config, opts Options) (*Planner, error) {
+	prof, err := profile.NewWithComm(cfg, cluster.Device, strat, train.SeqLen, train.MicroBatch, cluster.IntraNodeBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	return NewPlannerWithProfile(cfg, cluster, strat, train, prof, opts)
+}
+
+// NewPlannerWithProfile builds a planner around an existing cost profile —
+// typically one assembled from real cluster measurements via
+// profile.FromMeasurements, the paper's deployment path (§6: the search
+// engine "first profiles the forward time and backward time of each
+// computation unit").
+func NewPlannerWithProfile(cfg model.Config, cluster hardware.Cluster, strat parallel.Strategy, train parallel.Config, prof *profile.Profile, opts Options) (*Planner, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Memory.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MemoryReserve < 0 || opts.MemoryReserve >= 1 {
+		return nil, fmt.Errorf("core: MemoryReserve must be in [0,1), got %g", opts.MemoryReserve)
+	}
+	if strat.Devices() > cluster.Devices() {
+		return nil, fmt.Errorf("core: strategy %s needs %d devices, cluster %s has %d",
+			strat, strat.Devices(), cluster.Name, cluster.Devices())
+	}
+	if prof == nil {
+		return nil, fmt.Errorf("core: nil profile")
+	}
+	n, err := train.MicroBatches(strat)
+	if err != nil {
+		return nil, err
+	}
+	if n < strat.PP {
+		return nil, fmt.Errorf("core: %d micro-batches cannot fill a %d-stage 1F1B pipeline", n, strat.PP)
+	}
+	return &Planner{
+		cfg:     cfg,
+		cluster: cluster,
+		strat:   strat,
+		train:   train,
+		opts:    opts,
+		prof:    prof,
+		layers:  cfg.LayerSequence(),
+		n:       n,
+		cache:   make(map[costKey]stageCost),
+	}, nil
+}
+
+// Profile exposes the synthesized cost profile.
+func (pl *Planner) Profile() *profile.Profile { return pl.prof }
+
+// MicroBatches returns n for the planner's configuration.
+func (pl *Planner) MicroBatches() int { return pl.n }
+
+// dpBudget is the memory budget the adaptive DP searches against.
+func (pl *Planner) dpBudget() int64 {
+	return int64(float64(pl.cluster.Device.MemCapacity) * (1 - pl.opts.MemoryReserve))
+}
+
+// isoKey maps a (s,i,j) range onto its isomorphism class (§5.3): ranges with
+// the same stage, length, first-layer kind and head inclusion have identical
+// costs because transformer layers of one kind are homogeneous.
+func (pl *Planner) isoKey(s, i, j int) costKey {
+	if pl.opts.DisableIsomorphism {
+		return costKey{s, i, j}
+	}
+	ends := 0
+	if j == len(pl.layers)-1 {
+		ends = 1
+	}
+	// Encode (length, firstKind, endsWithHead) into the i/j fields.
+	return costKey{s, (j - i + 1), int(pl.layers[i].Kind)*2 + ends}
+}
+
+// buildGroups converts a layer range into knapsack groups, one per
+// (layer-kind, unit-kind) pair present in the range.
+func (pl *Planner) buildGroups(layers []model.Layer) []recompute.Group {
+	counts := map[model.LayerKind]int{}
+	for _, l := range layers {
+		counts[l.Kind]++
+	}
+	var groups []recompute.Group
+	for _, kind := range []model.LayerKind{model.Embedding, model.Attention, model.FFN, model.Head} {
+		c := counts[kind]
+		if c == 0 {
+			continue
+		}
+		for _, uc := range pl.prof.Layers[kind].Units {
+			groups = append(groups, recompute.Group{
+				Key:         kind.String() + "/" + uc.Unit.Kind.String(),
+				FwdTime:     uc.FwdTime,
+				Bytes:       uc.SavedBytes,
+				Count:       c,
+				AlwaysSaved: uc.Unit.AlwaysSaved,
+			})
+		}
+	}
+	recompute.SortGroups(groups)
+	return groups
+}
+
+// stageCostFor computes (and caches) the cost entry for layers i..j at stage s.
+func (pl *Planner) stageCostFor(s, i, j int) stageCost {
+	pl.Stats.CostEvaluations++
+	key := pl.isoKey(s, i, j)
+	if c, hit := pl.cache[key]; hit {
+		pl.Stats.CacheHits++
+		return c
+	}
+	c := pl.solveStage(s, i, j)
+	pl.cache[key] = c
+	return c
+}
+
+func (pl *Planner) solveStage(s, i, j int) stageCost {
+	layers := pl.layers[i : j+1]
+	static := memory.StageStatic(pl.cfg, pl.prof, pl.strat, layers, pl.opts.Memory)
+	inFlight := memory.InFlight(pl.strat.PP, s)
+	fwd := pl.prof.RangeFwdTime(layers)
+	bwd := pl.prof.RangeBwdTime(layers)
+	capacity := pl.cluster.Device.MemCapacity
+	// A stage's input activation (the tensor received from the previous
+	// stage) stays live per in-flight micro-batch; stage 0 receives only
+	// token ids, which are negligible.
+	var input int64
+	if layers[0].Kind != model.Embedding {
+		input = pl.prof.CommBytes
+	}
+
+	switch pl.opts.Recompute {
+	case RecomputeFull:
+		var extra float64
+		sol := recompute.Solution{Feasible: true, Saved: map[string]int{}}
+		for _, l := range layers {
+			lc := pl.prof.Layers[l.Kind]
+			switch l.Kind {
+			case model.Attention, model.FFN:
+				// Classic full recomputation keeps only each decoder
+				// block's input and replays the whole block.
+				extra += lc.FwdTime
+			default:
+				sol.SavedUnits += len(lc.Units)
+			}
+			sol.TotalUnits += len(lc.Units)
+		}
+		saved := memory.SavedBoundary(pl.prof, layers)
+		sol.SavedBytes = saved + input
+		br := memory.Stage(pl.cfg, pl.prof, pl.strat, layers, s, sol.SavedBytes, pl.opts.Memory)
+		ok := pl.opts.IgnoreMemoryLimit || br.Total() <= capacity
+		return stageCost{fwd: fwd, bwd: bwd + extra, sol: sol, mem: br, ok: ok}
+
+	case RecomputeNone:
+		saved := memory.SavedAll(pl.prof, layers) + input
+		sol := recompute.Solution{Feasible: true, Saved: map[string]int{}, SavedBytes: saved}
+		for _, l := range layers {
+			sol.SavedUnits += len(pl.prof.Layers[l.Kind].Units)
+			sol.TotalUnits += len(pl.prof.Layers[l.Kind].Units)
+		}
+		br := memory.Stage(pl.cfg, pl.prof, pl.strat, layers, s, saved, pl.opts.Memory)
+		ok := pl.opts.IgnoreMemoryLimit || br.Total() <= capacity
+		return stageCost{fwd: fwd, bwd: bwd, sol: sol, mem: br, ok: ok}
+
+	default: // RecomputeAdaptive, RecomputeLayerLevel
+		avail := pl.dpBudget() - static.Static()
+		if avail < 0 || inFlight == 0 {
+			return stageCost{ok: false}
+		}
+		perMicro := avail/int64(inFlight) - input
+		if perMicro < 0 {
+			return stageCost{ok: false}
+		}
+		groups := pl.buildGroups(layers)
+		if pl.opts.Recompute == RecomputeLayerLevel {
+			groups = coarsenToLayers(groups)
+		}
+		pl.Stats.KnapsackRuns++
+		sol := recompute.Optimize(groups, perMicro, recompute.Options{
+			Quantum:    pl.quantumFor(perMicro),
+			DisableGCD: pl.opts.DisableGCD,
+		})
+		if !sol.Feasible {
+			return stageCost{sol: sol, ok: false}
+		}
+		sol.SavedBytes += input
+		br := memory.Stage(pl.cfg, pl.prof, pl.strat, layers, s, sol.SavedBytes, pl.opts.Memory)
+		extra := recompute.TotalOptionalTime(groups) - sol.SavedTime
+		return stageCost{fwd: fwd, bwd: bwd + extra, sol: sol, mem: br, ok: true}
+	}
+}
+
+// quantumFor grows the rounding quantum (in powers of two) until the budget
+// fits in MaxDPStates quanta.
+func (pl *Planner) quantumFor(budget int64) int64 {
+	q := pl.opts.Quantum
+	if q <= 0 {
+		q = 1 << 20
+	}
+	maxStates := pl.opts.MaxDPStates
+	if maxStates <= 0 {
+		maxStates = 4096
+	}
+	for budget/q > maxStates {
+		q *= 2
+	}
+	return q
+}
+
+// Plan runs the configured search and assembles the plan.
+func (pl *Planner) Plan() (*Plan, error) {
+	L := len(pl.layers)
+	p := pl.strat.PP
+	cost := func(s, i, j int) (float64, float64, bool) {
+		c := pl.stageCostFor(s, i, j)
+		return c.fwd, c.bwd, c.ok
+	}
+
+	var bounds []int
+	var total, w, e, m float64
+	switch pl.opts.Partition {
+	case PartitionExact:
+		maxFrontier := pl.opts.MaxFrontier
+		if maxFrontier <= 0 {
+			maxFrontier = 128
+		}
+		sol, _, err := partition.SolveExact(L, p, pl.n, cost, maxFrontier)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w (OOM under every partitioning)", err)
+		}
+		bounds = sol.Bounds
+		total, w, e, m = sol.Total, sol.W, sol.E, sol.M
+	case PartitionEven:
+		bounds = partition.Even(L, p)
+		var ok bool
+		total, w, e, m, ok = partition.Evaluate(bounds, pl.n, cost)
+		if !ok {
+			return nil, fmt.Errorf("core: %s with even partitioning exceeds the %s memory capacity (OOM)",
+				pl.opts.Recompute, pl.cluster.Device.Name)
+		}
+	default:
+		sol, err := partition.Solve(L, p, pl.n, cost)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w (OOM under every partitioning)", err)
+		}
+		bounds = sol.Bounds
+		total, w, e, m = sol.Total, sol.W, sol.E, sol.M
+	}
+
+	plan := &Plan{
+		Model:        pl.cfg.Name,
+		Strategy:     pl.strat,
+		SeqLen:       pl.train.SeqLen,
+		MicroBatch:   pl.train.MicroBatch,
+		MicroBatches: pl.n,
+		Recompute:    pl.opts.Recompute,
+		Partition:    pl.opts.Partition,
+		Total:        total,
+		W:            w,
+		E:            e,
+		M:            m,
+	}
+	bw := pl.cluster.PipelineBandwidth(pl.strat.TP)
+	plan.CommFwd = pl.prof.CommTime(bw, pl.cluster.LinkLatency)
+	plan.CommBwd = plan.CommFwd // gradient of the boundary tensor, same shape
+	for s := 0; s < p; s++ {
+		c := pl.stageCostFor(s, bounds[s], bounds[s+1]-1)
+		plan.Stages = append(plan.Stages, StagePlan{
+			Stage:     s,
+			LayerLo:   bounds[s],
+			LayerHi:   bounds[s+1],
+			Fwd:       c.fwd,
+			Bwd:       c.bwd,
+			Recompute: c.sol,
+			Mem:       c.mem,
+		})
+	}
+	return plan, nil
+}
+
+// CostFor exposes the cached per-range cost model: the modeled forward and
+// backward times (seconds per micro-batch) and memory feasibility of layers
+// i..j (inclusive) executed as stage s. Tools and tests use it to evaluate
+// partitionings the search did not choose.
+func (pl *Planner) CostFor(s, i, j int) (fwd, bwd float64, ok bool) {
+	if s < 0 || s >= pl.strat.PP || i < 0 || j >= len(pl.layers) || i > j {
+		return 0, 0, false
+	}
+	c := pl.stageCostFor(s, i, j)
+	return c.fwd, c.bwd, c.ok
+}
+
+// LayerCount returns the length of the partitionable layer sequence.
+func (pl *Planner) LayerCount() int { return len(pl.layers) }
+
+// coarsenToLayers merges each layer kind's optional units into one atomic
+// knapsack item, so a layer is saved or recomputed as a whole — the coarse
+// granularity of chain-recomputation prior work (§2.2). AlwaysSaved groups
+// are unchanged.
+func coarsenToLayers(groups []recompute.Group) []recompute.Group {
+	merged := map[string]*recompute.Group{}
+	var out []recompute.Group
+	order := []string{}
+	for _, g := range groups {
+		if g.AlwaysSaved {
+			out = append(out, g)
+			continue
+		}
+		kind := g.Key
+		if i := strings.IndexByte(kind, '/'); i >= 0 {
+			kind = kind[:i]
+		}
+		m, ok := merged[kind]
+		if !ok {
+			m = &recompute.Group{Key: kind + "/whole-layer", Count: g.Count}
+			merged[kind] = m
+			order = append(order, kind)
+		}
+		m.FwdTime += g.FwdTime
+		m.Bytes += g.Bytes
+	}
+	for _, kind := range order {
+		out = append(out, *merged[kind])
+	}
+	recompute.SortGroups(out)
+	return out
+}

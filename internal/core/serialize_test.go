@@ -1,0 +1,119 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	orig := plan(t, RecomputeAdaptive, PartitionAdaptive)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"model":"GPT-3 175B"`, `"recompute":"adaptive"`, `"stages"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("serialized plan missing %q", want)
+		}
+	}
+	var got Plan
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != orig.Model || got.Strategy != orig.Strategy ||
+		got.SeqLen != orig.SeqLen || got.MicroBatches != orig.MicroBatches {
+		t.Error("header fields not round-tripped")
+	}
+	if got.Total != orig.Total || got.W != orig.W || got.E != orig.E || got.M != orig.M {
+		t.Error("modeled times not round-tripped")
+	}
+	if len(got.Stages) != len(orig.Stages) {
+		t.Fatalf("stage count %d vs %d", len(got.Stages), len(orig.Stages))
+	}
+	for i := range got.Stages {
+		g, o := got.Stages[i], orig.Stages[i]
+		if g.LayerLo != o.LayerLo || g.LayerHi != o.LayerHi {
+			t.Errorf("stage %d layer range not round-tripped", i)
+		}
+		if g.Fwd != o.Fwd || g.Bwd != o.Bwd {
+			t.Errorf("stage %d times not round-tripped", i)
+		}
+		if g.Recompute.SavedUnits != o.Recompute.SavedUnits {
+			t.Errorf("stage %d saved units %d vs %d", i, g.Recompute.SavedUnits, o.Recompute.SavedUnits)
+		}
+		if g.Mem.SavedPerMicro != o.Mem.SavedPerMicro {
+			t.Errorf("stage %d saved-per-micro not round-tripped", i)
+		}
+		if g.Mem.Static() != o.Mem.Static() {
+			t.Errorf("stage %d static bytes %d vs %d", i, g.Mem.Static(), o.Mem.Static())
+		}
+	}
+	// Deterministic re-serialization.
+	data2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 Plan
+	if err := json.Unmarshal(data2, &got2); err != nil {
+		t.Fatal(err)
+	}
+	if got2.Total != got.Total || len(got2.Stages) != len(got.Stages) {
+		t.Error("second round trip drifted")
+	}
+}
+
+func TestPlanJSONRejectsGarbage(t *testing.T) {
+	var p Plan
+	if err := json.Unmarshal([]byte(`{"recompute":"???","partition":"even","pp":1,"stages":[{}]}`), &p); err == nil {
+		t.Error("unknown recompute mode accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"recompute":"full","partition":"???","pp":1,"stages":[{}]}`), &p); err == nil {
+		t.Error("unknown partition mode accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"recompute":"full","partition":"even","pp":3,"stages":[{}]}`), &p); err == nil {
+		t.Error("stage/PP mismatch accepted")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &p); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cfg, _, _, _ := gptSetup()
+	orig := plan(t, RecomputeAdaptive, PartitionAdaptive)
+	L := len(cfg.LayerSequence())
+	if err := orig.Validate(L); err != nil {
+		t.Fatalf("fresh plan invalid: %v", err)
+	}
+	// Round-tripped plans validate too.
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Plan
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(L); err != nil {
+		t.Fatalf("round-tripped plan invalid: %v", err)
+	}
+	// Corruptions are caught.
+	bad := got
+	bad.Stages = append([]StagePlan(nil), got.Stages...)
+	bad.Stages[3].LayerLo++
+	if err := bad.Validate(L); err == nil {
+		t.Error("gap between stages accepted")
+	}
+	bad2 := got
+	bad2.MicroBatches = 2
+	if err := bad2.Validate(L); err == nil {
+		t.Error("n < p accepted")
+	}
+	if err := got.Validate(L + 5); err == nil {
+		t.Error("layer-count mismatch accepted")
+	}
+	if err := got.Validate(0); err != nil {
+		t.Errorf("zero layerCount should skip coverage: %v", err)
+	}
+}

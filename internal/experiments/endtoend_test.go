@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func index(pts []EndToEndPoint) map[string]map[int]EndToEndPoint {
+	out := map[string]map[int]EndToEndPoint{}
+	for _, pt := range pts {
+		if out[pt.Method] == nil {
+			out[pt.Method] = map[int]EndToEndPoint{}
+		}
+		out[pt.Method][pt.SeqLen] = pt
+	}
+	return out
+}
+
+// TestFigure6Shape checks the GPT-3 end-to-end claims of §7.2 against the
+// simulated substrate.
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full strategy sweep")
+	}
+	pts, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := index(pts)
+	for _, seq := range []int{4096, 8192, 16384} {
+		ada := by["AdaPipe"][seq]
+		even := by["Even Partitioning"][seq]
+		full := by["DAPPLE-Full"][seq]
+		if ada.OOM || even.OOM || full.OOM {
+			t.Fatalf("seq %d: adaptive methods or DAPPLE-Full OOM", seq)
+		}
+		// AdaPipe ≥ Even Partitioning ≥ nothing worse than DAPPLE-Full.
+		if ada.IterTime > even.IterTime+1e-9 {
+			t.Errorf("seq %d: AdaPipe %g slower than Even Partitioning %g", seq, ada.IterTime, even.IterTime)
+		}
+		if even.IterTime >= full.IterTime {
+			t.Errorf("seq %d: Even Partitioning %g not faster than DAPPLE-Full %g", seq, even.IterTime, full.IterTime)
+		}
+		// Paper: up to 1.32x for GPT-3; require a solid margin.
+		if ada.Speedup < 1.15 {
+			t.Errorf("seq %d: AdaPipe speedup %.3f < 1.15", seq, ada.Speedup)
+		}
+		// Chimera variants lose to DAPPLE when n >> p (§7.2).
+		for _, name := range []string{"Chimera-Full", "ChimeraD-Full"} {
+			c := by[name][seq]
+			if !c.OOM && c.IterTime < full.IterTime {
+				t.Errorf("seq %d: %s %g beats DAPPLE-Full %g", seq, name, c.IterTime, full.IterTime)
+			}
+		}
+	}
+	// No-recomputation baselines die as sequences grow (§7.2: at 16384
+	// every -Non baseline exceeds memory under all strategies).
+	for _, name := range []string{"DAPPLE-Non", "Chimera-Non", "ChimeraD-Non"} {
+		if !by[name][16384].OOM {
+			t.Errorf("%s at seq 16384 should be OOM", name)
+		}
+	}
+	if !by["DAPPLE-Non"][4096].OOM && by["DAPPLE-Non"][4096].Strategy.TP != 8 {
+		t.Error("DAPPLE-Non at 4096 should only survive at TP=8 (§7.3)")
+	}
+	if out := FormatEndToEnd("Figure 6", pts); !strings.Contains(out, "sequence length 16384") {
+		t.Error("format output malformed")
+	}
+}
+
+// TestFigure5Shape checks the Llama 2 claims: DAPPLE-Non feasible through
+// 8192 but OOM nowhere near as early as GPT-3, ChimeraD-Non dying at 8192.
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full strategy sweep")
+	}
+	pts, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := index(pts)
+	for _, seq := range []int{4096, 8192, 16384} {
+		ada := by["AdaPipe"][seq]
+		full := by["DAPPLE-Full"][seq]
+		if ada.OOM || full.OOM {
+			t.Fatalf("seq %d: AdaPipe or DAPPLE-Full OOM", seq)
+		}
+		if ada.Speedup < 1.1 {
+			t.Errorf("seq %d: AdaPipe speedup %.3f < 1.1", seq, ada.Speedup)
+		}
+	}
+	// Llama 2 fits without recomputation through 8192 (§7.2)...
+	if by["DAPPLE-Non"][4096].OOM || by["DAPPLE-Non"][8192].OOM {
+		t.Error("Llama 2 DAPPLE-Non should fit at 4096 and 8192")
+	}
+	// ...while ChimeraD-Non doubles activations and dies at 8192.
+	if !by["ChimeraD-Non"][8192].OOM {
+		t.Error("ChimeraD-Non at 8192 should be OOM (doubled forward activations)")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	pts, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 16 { // 4 jobs x 4 methods
+		t.Fatalf("got %d points", len(pts))
+	}
+	type key struct {
+		model   string
+		devices int
+	}
+	by := map[key]map[string]Figure7Point{}
+	for _, pt := range pts {
+		k := key{pt.Model, pt.Devices}
+		if by[k] == nil {
+			by[k] = map[string]Figure7Point{}
+		}
+		by[k][pt.Method] = pt
+	}
+	for k, methods := range by {
+		// 32 GiB devices: no recomputation OOMs already at 4096 (§7.2).
+		if !methods["DAPPLE-Non"].OOM {
+			t.Errorf("%v: DAPPLE-Non should be OOM on 32 GiB devices", k)
+		}
+		ada := methods["AdaPipe"]
+		even := methods["Even Partitioning"]
+		if ada.OOM || even.OOM {
+			t.Fatalf("%v: adaptive methods OOM", k)
+		}
+		if ada.Speedup < 1.05 {
+			t.Errorf("%v: AdaPipe speedup %.3f < 1.05", k, ada.Speedup)
+		}
+		if ada.IterTime > even.IterTime+1e-9 {
+			t.Errorf("%v: AdaPipe slower than Even Partitioning", k)
+		}
+	}
+	// Weak scaling: iteration time roughly flat as devices and batch grow
+	// together (same micro-batches per replica).
+	for _, m := range []string{"AdaPipe", "DAPPLE-Full"} {
+		small := by[key{"GPT-3", 256}][m].IterTime
+		large := by[key{"GPT-3", 2048}][m].IterTime
+		if rel := large / small; rel < 0.95 || rel > 1.05 {
+			t.Errorf("GPT-3 %s weak scaling ratio %.3f, want ~1", m, rel)
+		}
+	}
+	if out := FormatFigure7(pts); !strings.Contains(out, "2048 NPUs") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	find := func(tp, pp, dp int) Table3Row {
+		for _, r := range rows {
+			if r.Strategy.TP == tp && r.Strategy.PP == pp && r.Strategy.DP == dp {
+				return r
+			}
+		}
+		t.Fatalf("missing strategy (%d,%d,%d)", tp, pp, dp)
+		return Table3Row{}
+	}
+	// §7.3: at (1,32,2) only DAPPLE-Full survives.
+	r := find(1, 32, 2)
+	if _, ok := r.IterTime["DAPPLE-Full"]; !ok {
+		t.Error("(1,32,2): DAPPLE-Full should fit")
+	}
+	for _, m := range []string{"AdaPipe", "Even Partitioning", "DAPPLE-Non"} {
+		if _, ok := r.IterTime[m]; ok {
+			t.Errorf("(1,32,2): %s should be OOM", m)
+		}
+	}
+	// Table 3's DAPPLE-Non column: infeasible at small TP (the paper has
+	// it only at TP=8; our substrate also fits the marginal (4,16,1)).
+	for _, row := range rows {
+		_, ok := row.IterTime["DAPPLE-Non"]
+		if ok && row.Strategy.TP < 4 {
+			t.Errorf("DAPPLE-Non feasible at %s, want large TP only", row.Strategy)
+		}
+	}
+	for _, strat := range [][3]int{{8, 4, 2}, {8, 8, 1}} {
+		if _, ok := find(strat[0], strat[1], strat[2]).IterTime["DAPPLE-Non"]; !ok {
+			t.Errorf("DAPPLE-Non should fit at (%d,%d,%d)", strat[0], strat[1], strat[2])
+		}
+	}
+	// AdaPipe beats DAPPLE-Full wherever both run.
+	for _, row := range rows {
+		ada, okA := row.IterTime["AdaPipe"]
+		full, okF := row.IterTime["DAPPLE-Full"]
+		if okA && okF && ada >= full {
+			t.Errorf("%s: AdaPipe %g not faster than DAPPLE-Full %g", row.Strategy, ada, full)
+		}
+	}
+	if out := FormatTable3(rows); !strings.Contains(out, "(8, 8, 1)") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	series, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]Figure8Series{}
+	for _, s := range series {
+		by[s.Method] = s
+	}
+	// DAPPLE-Non: strongly imbalanced, stage 0 far above the last stage
+	// (paper: 2.33x).
+	non := by["DAPPLE-Non"]
+	if !non.OOM {
+		t.Error("DAPPLE-Non should be flagged OOM at seq 16384")
+	}
+	if ratio := non.StageGiB[0] / non.StageGiB[7]; ratio < 1.5 {
+		t.Errorf("DAPPLE-Non imbalance %.2fx, want > 1.5x", ratio)
+	}
+	// AdaPipe and Even Partitioning: balanced, under the capacity (§7.4
+	// reports ~70 of 80 GB per stage).
+	for _, name := range []string{"AdaPipe", "Even Partitioning"} {
+		s := by[name]
+		if s.OOM {
+			t.Errorf("%s flagged OOM", name)
+		}
+		min, max := s.StageGiB[0], s.StageGiB[0]
+		for _, g := range s.StageGiB {
+			if g > 80 {
+				t.Errorf("%s exceeds 80 GiB: %v", name, s.StageGiB)
+			}
+			if g < min {
+				min = g
+			}
+			if g > max {
+				max = g
+			}
+		}
+		// Early/middle stages sit near the budget in a balanced band.
+		if max/min > 1.5 {
+			t.Errorf("%s per-stage memory spread %.2fx: %v", name, max/min, s.StageGiB)
+		}
+	}
+	// Chimera replicates parameters: its full-recompute peak exceeds
+	// DAPPLE-Full's everywhere.
+	for st := range by["Chimera-Full"].StageGiB {
+		if by["Chimera-Full"].StageGiB[st] <= by["DAPPLE-Full"].StageGiB[st] {
+			t.Errorf("stage %d: Chimera-Full %.1f not above DAPPLE-Full %.1f",
+				st, by["Chimera-Full"].StageGiB[st], by["DAPPLE-Full"].StageGiB[st])
+		}
+	}
+	if out := FormatFigure8(series); !strings.Contains(out, "Peak memory") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	series, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]Figure9Series{}
+	for _, s := range series {
+		by[s.Method] = s
+		if len(s.MicroStep) != 8 {
+			t.Fatalf("%s: %d stages", s.Method, len(s.MicroStep))
+		}
+	}
+	// Even Partitioning: micro-step time decreases with the stage id
+	// (front stages recompute more); the paper reports slowest/fastest
+	// ≈ 1.17x.
+	even := by["Even Partitioning"]
+	if even.MicroStep[0] <= even.MicroStep[6] {
+		t.Errorf("Even Partitioning micro-steps should decline: %v", even.MicroStep)
+	}
+	// AdaPipe flattens the profile: its spread is smaller.
+	spread := func(xs []float64) float64 {
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return max / min
+	}
+	if spread(by["AdaPipe"].MicroStep) > spread(even.MicroStep) {
+		t.Errorf("AdaPipe spread %.3f vs Even %.3f; AdaPipe should be flatter",
+			spread(by["AdaPipe"].MicroStep), spread(even.MicroStep))
+	}
+	// Full-recompute baselines are uniform across stages.
+	if s := spread(by["DAPPLE-Full"].MicroStep); s > 1.1 {
+		t.Errorf("DAPPLE-Full spread %.3f, want near-uniform", s)
+	}
+	if out := FormatFigure9(series); !strings.Contains(out, "Micro-step") {
+		t.Error("format output malformed")
+	}
+}

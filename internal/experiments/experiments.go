@@ -1,0 +1,190 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) on the simulated substrate. Each Figure*/Table* function
+// returns structured rows plus a Format helper that prints them in the
+// paper's layout; cmd/experiments and the root-level benchmarks drive them.
+//
+// Absolute times come from an analytical device model, not the authors'
+// clusters, so the numbers differ from the paper — the shapes (who wins, by
+// roughly what factor, where OOM boundaries fall) are what EXPERIMENTS.md
+// tracks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adapipe/internal/baseline"
+	"adapipe/internal/core"
+	"adapipe/internal/hardware"
+	"adapipe/internal/model"
+	"adapipe/internal/parallel"
+)
+
+// GiB converts bytes to GiB for display.
+func GiB(b int64) float64 { return float64(b) / float64(1<<30) }
+
+// ClusterAConfigs returns the (sequence length, global batch) pairs of
+// Table 2 for cluster A: doubling sequence length halves the global batch so
+// tokens per iteration stay constant.
+func ClusterAConfigs() []parallel.Config {
+	return []parallel.Config{
+		{GlobalBatch: 128, MicroBatch: 1, SeqLen: 4096},
+		{GlobalBatch: 64, MicroBatch: 1, SeqLen: 8192},
+		{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384},
+	}
+}
+
+// EndToEndPoint is one bar of Figures 5/6: a method at one sequence length.
+type EndToEndPoint struct {
+	// Method is the figure label.
+	Method string
+	// SeqLen is the sequence length.
+	SeqLen int
+	// Strategy is the best 3D strategy found for the method.
+	Strategy parallel.Strategy
+	// IterTime is the simulated iteration time in seconds.
+	IterTime float64
+	// Speedup is relative to DAPPLE-Full at the same sequence length.
+	Speedup float64
+	// PeakGiB is the maximum simulated per-device memory.
+	PeakGiB float64
+	// OOM marks methods with no feasible strategy.
+	OOM bool
+}
+
+// EndToEnd sweeps all methods over all cluster-A configs for a model —
+// Figure 5 (Llama 2, 32 GPUs) and Figure 6 (GPT-3, 64 GPUs).
+func EndToEnd(cfg model.Config, devices int) ([]EndToEndPoint, error) {
+	cl := hardware.ClusterA()
+	var out []EndToEndPoint
+	for _, train := range ClusterAConfigs() {
+		var ref float64
+		for _, m := range baseline.Methods() {
+			best, _ := baseline.Best(m, cfg, cl, devices, train, core.DefaultOptions())
+			pt := EndToEndPoint{Method: m.Name, SeqLen: train.SeqLen}
+			if !best.Feasible() {
+				pt.OOM = true
+			} else {
+				pt.Strategy = best.Strategy
+				pt.IterTime = best.IterTime
+				pt.PeakGiB = GiB(best.Sim.MaxPeakMem())
+				if m.Name == "DAPPLE-Full" {
+					ref = best.IterTime
+				}
+				if ref > 0 {
+					pt.Speedup = ref / best.IterTime
+				}
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// Figure5 regenerates the Llama 2 end-to-end comparison (32 GPUs).
+func Figure5() ([]EndToEndPoint, error) { return EndToEnd(model.Llama2_70B(), 32) }
+
+// Figure6 regenerates the GPT-3 end-to-end comparison (64 GPUs).
+func Figure6() ([]EndToEndPoint, error) { return EndToEnd(model.GPT3_175B(), 64) }
+
+// FormatEndToEnd renders end-to-end points grouped by sequence length.
+func FormatEndToEnd(title string, pts []EndToEndPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	lastSeq := -1
+	for _, pt := range pts {
+		if pt.SeqLen != lastSeq {
+			fmt.Fprintf(&b, "-- sequence length %d --\n", pt.SeqLen)
+			lastSeq = pt.SeqLen
+		}
+		if pt.OOM {
+			fmt.Fprintf(&b, "  %-18s %10s\n", pt.Method, "OOM")
+			continue
+		}
+		fmt.Fprintf(&b, "  %-18s %9.2fs  %-11s speedup %.2fx  peak %.1f GiB\n",
+			pt.Method, pt.IterTime, pt.Strategy.String(), pt.Speedup, pt.PeakGiB)
+	}
+	return b.String()
+}
+
+// Figure7Point is one bar of the cluster-B experiment.
+type Figure7Point struct {
+	// Model is "GPT-3" or "Llama 2".
+	Model string
+	// Devices is the NPU count.
+	Devices int
+	// Method is the figure label.
+	Method string
+	// IterTime is the simulated iteration time in seconds.
+	IterTime float64
+	// Speedup is relative to DAPPLE-Full.
+	Speedup float64
+	// OOM marks infeasible methods.
+	OOM bool
+}
+
+// Figure7 regenerates the cluster-B (Ascend) end-to-end comparison: GPT-3 at
+// 256 and 2048 NPUs with (t, p) = (8, 8), Llama 2 at 128 and 1024 NPUs with
+// (t, p) = (4, 8); the global batch scales linearly with the data-parallel
+// size (§7.2).
+func Figure7() ([]Figure7Point, error) {
+	type job struct {
+		name    string
+		cfg     model.Config
+		devices int
+		strat   parallel.Strategy
+		gbs     int
+	}
+	jobs := []job{
+		{"Llama 2", model.Llama2_70B(), 128, parallel.Strategy{TP: 4, PP: 8, DP: 4}, 256},
+		{"Llama 2", model.Llama2_70B(), 1024, parallel.Strategy{TP: 4, PP: 8, DP: 32}, 1024},
+		{"GPT-3", model.GPT3_175B(), 256, parallel.Strategy{TP: 8, PP: 8, DP: 4}, 256},
+		{"GPT-3", model.GPT3_175B(), 2048, parallel.Strategy{TP: 8, PP: 8, DP: 32}, 2048},
+	}
+	var out []Figure7Point
+	for _, j := range jobs {
+		if j.strat.Devices() != j.devices {
+			return nil, fmt.Errorf("experiments: %s strategy %s does not cover %d devices", j.name, j.strat, j.devices)
+		}
+		cl := hardware.ClusterBLarge()
+		train := parallel.Config{GlobalBatch: j.gbs, MicroBatch: 1, SeqLen: 4096}
+		var ref float64
+		for _, m := range baseline.ClusterBMethods() {
+			o := baseline.Evaluate(m, j.cfg, cl, j.strat, train, core.DefaultOptions())
+			pt := Figure7Point{Model: j.name, Devices: j.devices, Method: m.Name}
+			if !o.Feasible() {
+				pt.OOM = true
+			} else {
+				pt.IterTime = o.IterTime
+				if m.Name == "DAPPLE-Full" {
+					ref = o.IterTime
+				}
+				if ref > 0 {
+					pt.Speedup = ref / o.IterTime
+				}
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// FormatFigure7 renders the cluster-B points.
+func FormatFigure7(pts []Figure7Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: End-to-end performance on cluster B (Ascend 910, seq 4096)\n")
+	last := ""
+	for _, pt := range pts {
+		key := fmt.Sprintf("%s (%d NPUs)", pt.Model, pt.Devices)
+		if key != last {
+			fmt.Fprintf(&b, "-- %s --\n", key)
+			last = key
+		}
+		if pt.OOM {
+			fmt.Fprintf(&b, "  %-18s %10s\n", pt.Method, "OOM")
+			continue
+		}
+		fmt.Fprintf(&b, "  %-18s %9.2fs  speedup %.2fx\n", pt.Method, pt.IterTime, pt.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adapipe/internal/baseline"
+	"adapipe/internal/core"
+	"adapipe/internal/hardware"
+	"adapipe/internal/model"
+	"adapipe/internal/parallel"
+)
+
+// gpt3Fig1Strategy is Figure 1's configuration: DP, TP, PP = 1, 8, 8.
+func gpt3Fig1Strategy() parallel.Strategy { return parallel.Strategy{TP: 8, PP: 8, DP: 1} }
+
+// Figure1Series is one line of Figure 1: modeled per-stage memory of GPT-3
+// under one (sequence length, recomputation) setting.
+type Figure1Series struct {
+	// SeqLen is the sequence length.
+	SeqLen int
+	// Recompute is "full" or "none".
+	Recompute string
+	// StageGiB is the per-stage modeled memory in GiB.
+	StageGiB []float64
+	// LimitGiB is the hardware limit (80 GiB on the A100).
+	LimitGiB float64
+}
+
+// Figure1 simulates the per-stage memory consumption of GPT-3 training at
+// sequence lengths 4096/8192/16384 under full and no recomputation, the
+// motivating experiment of §1.
+func Figure1() ([]Figure1Series, error) {
+	cl := hardware.ClusterA()
+	strat := gpt3Fig1Strategy()
+	var out []Figure1Series
+	for _, seq := range []int{4096, 8192, 16384} {
+		train := parallel.Config{GlobalBatch: 64, MicroBatch: 1, SeqLen: seq}
+		for _, rec := range []core.RecomputeMode{core.RecomputeFull, core.RecomputeNone} {
+			opts := core.DefaultOptions()
+			opts.Recompute = rec
+			opts.Partition = core.PartitionEven
+			opts.IgnoreMemoryLimit = true
+			pl, err := core.NewPlanner(model.GPT3_175B(), cl, strat, train, opts)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := pl.Plan()
+			if err != nil {
+				return nil, err
+			}
+			s := Figure1Series{SeqLen: seq, Recompute: rec.String(), LimitGiB: GiB(cl.Device.MemCapacity)}
+			for _, st := range plan.Stages {
+				s.StageGiB = append(s.StageGiB, GiB(st.Mem.Total()))
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// FormatFigure1 renders the series as a table of stages × settings.
+func FormatFigure1(series []Figure1Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: Simulated per-stage memory, GPT-3, (DP,TP,PP)=(1,8,8), limit 80 GiB\n")
+	b.WriteString("stage ")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %6s@%-5d", s.Recompute, s.SeqLen)
+	}
+	b.WriteString("\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	for st := range series[0].StageGiB {
+		fmt.Fprintf(&b, "%5d ", st)
+		for _, s := range series {
+			mark := " "
+			if s.StageGiB[st] > s.LimitGiB {
+				mark = "!"
+			}
+			fmt.Fprintf(&b, " %10.1f%s ", s.StageGiB[st], mark)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("('!' marks stages above the 80 GiB device limit)\n")
+	return b.String()
+}
+
+// fig8Config is the §7.4 profiling setup: GPT-3, sequence length 16384,
+// parallelism (8, 8, 1).
+func fig8Config() (model.Config, parallel.Strategy, parallel.Config) {
+	return model.GPT3_175B(),
+		parallel.Strategy{TP: 8, PP: 8, DP: 1},
+		parallel.Config{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384}
+}
+
+// Figure8Series is one line of Figure 8: simulated per-stage peak memory for
+// one method (OOM methods report estimated peaks, as in the paper).
+type Figure8Series struct {
+	// Method is the figure label.
+	Method string
+	// StageGiB is the per-device simulated peak in GiB.
+	StageGiB []float64
+	// OOM marks methods whose peak exceeds the capacity.
+	OOM bool
+}
+
+// Figure8 regenerates the per-stage peak memory comparison of §7.4.
+func Figure8() ([]Figure8Series, error) {
+	cfg, strat, train := fig8Config()
+	cl := hardware.ClusterA()
+	var out []Figure8Series
+	for _, m := range baseline.Methods() {
+		o := baseline.Evaluate(m, cfg, cl, strat, train, core.DefaultOptions())
+		s := Figure8Series{Method: m.Name, OOM: o.OOM}
+		if o.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", m.Name, o.Err)
+		}
+		if o.Plan == nil {
+			// Adaptive method infeasible at this strategy: no estimate.
+			out = append(out, s)
+			continue
+		}
+		for _, peak := range o.Sim.PeakMem {
+			s.StageGiB = append(s.StageGiB, GiB(peak))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FormatFigure8 renders the peak-memory series.
+func FormatFigure8(series []Figure8Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: Peak memory per stage, GPT-3, seq 16384, (t,p,d)=(8,8,1), capacity 80 GiB\n")
+	for _, s := range series {
+		if len(s.StageGiB) == 0 {
+			fmt.Fprintf(&b, "  %-18s (no feasible plan)\n", s.Method)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-18s", s.Method)
+		for _, g := range s.StageGiB {
+			fmt.Fprintf(&b, " %6.1f", g)
+		}
+		if s.OOM {
+			b.WriteString("  (exceeds capacity)")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure9Series is one line of Figure 9: per-stage micro-step time (forward
+// plus backward of one micro-batch) for one method.
+type Figure9Series struct {
+	// Method is the figure label.
+	Method string
+	// MicroStep is the per-stage F+B time in seconds.
+	MicroStep []float64
+}
+
+// Figure9 regenerates the per-stage computation-time comparison of §7.4 for
+// the methods that fit in memory (the -Full variants plus Even Partitioning
+// and AdaPipe).
+func Figure9() ([]Figure9Series, error) {
+	cfg, strat, train := fig8Config()
+	cl := hardware.ClusterA()
+	names := []string{"DAPPLE-Full", "Chimera-Full", "ChimeraD-Full", "Even Partitioning", "AdaPipe"}
+	var out []Figure9Series
+	for _, name := range names {
+		m, err := baseline.MethodByName(name)
+		if err != nil {
+			return nil, err
+		}
+		o := baseline.Evaluate(m, cfg, cl, strat, train, core.DefaultOptions())
+		if o.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, o.Err)
+		}
+		if o.Plan == nil {
+			continue
+		}
+		out = append(out, Figure9Series{Method: name, MicroStep: o.Sim.MicroStep})
+	}
+	return out, nil
+}
+
+// FormatFigure9 renders the micro-step series.
+func FormatFigure9(series []Figure9Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: Micro-step (fwd+bwd) time per stage, GPT-3, seq 16384, (8,8,1)\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %-18s", s.Method)
+		for _, t := range s.MicroStep {
+			fmt.Fprintf(&b, " %6.3f", t)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table4Row describes one method's per-stage plan: saved computation units
+// and assigned layers.
+type Table4Row struct {
+	// Method is "AdaPipe" or "Even Partitioning".
+	Method string
+	// SavedUnits is the per-stage count of saved computation units.
+	SavedUnits []int
+	// Layers is the per-stage layer count (embedding and head each count
+	// as one extra layer, as in the paper).
+	Layers []int
+}
+
+// Table4 regenerates the recomputation/partitioning configuration table of
+// §7.4.
+func Table4() ([]Table4Row, error) {
+	cfg, strat, train := fig8Config()
+	cl := hardware.ClusterA()
+	var out []Table4Row
+	for _, name := range []string{"AdaPipe", "Even Partitioning"} {
+		m, err := baseline.MethodByName(name)
+		if err != nil {
+			return nil, err
+		}
+		o := baseline.Evaluate(m, cfg, cl, strat, train, core.DefaultOptions())
+		if !o.Feasible() {
+			return nil, fmt.Errorf("experiments: %s infeasible at %s: %v", name, strat, o.Err)
+		}
+		row := Table4Row{Method: name}
+		for _, st := range o.Plan.Stages {
+			row.SavedUnits = append(row.SavedUnits, st.Recompute.SavedUnits)
+			row.Layers = append(row.Layers, st.Layers())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatTable4 renders the configuration table.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table 4: Recomputation and stage partitioning, GPT-3, seq 16384, (8,8,1)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-18s saved units:", r.Method)
+		for _, v := range r.SavedUnits {
+			fmt.Fprintf(&b, " %4d", v)
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "  %-18s layers:     ", "")
+		for _, v := range r.Layers {
+			fmt.Fprintf(&b, " %4d", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table3Row is one strategy row of Table 3.
+type Table3Row struct {
+	// Strategy is the (t, p, d) triple.
+	Strategy parallel.Strategy
+	// IterTime maps method name to simulated iteration time; missing
+	// entries are OOM.
+	IterTime map[string]float64
+}
+
+// Table3Methods lists the columns of Table 3.
+func Table3Methods() []string {
+	return []string{"DAPPLE-Full", "DAPPLE-Non", "Even Partitioning", "AdaPipe"}
+}
+
+// Table3 regenerates the parallel-strategy sensitivity study: GPT-3 at
+// sequence length 4096 on cluster A across seven (t, p, d) strategies.
+func Table3() ([]Table3Row, error) {
+	cfg := model.GPT3_175B()
+	cl := hardware.ClusterA()
+	train := parallel.Config{GlobalBatch: 128, MicroBatch: 1, SeqLen: 4096}
+	strategies := []parallel.Strategy{
+		{TP: 1, PP: 32, DP: 2}, {TP: 2, PP: 16, DP: 2}, {TP: 2, PP: 32, DP: 1},
+		{TP: 4, PP: 8, DP: 2}, {TP: 4, PP: 16, DP: 1}, {TP: 8, PP: 4, DP: 2}, {TP: 8, PP: 8, DP: 1},
+	}
+	var out []Table3Row
+	for _, strat := range strategies {
+		row := Table3Row{Strategy: strat, IterTime: map[string]float64{}}
+		for _, name := range Table3Methods() {
+			m, err := baseline.MethodByName(name)
+			if err != nil {
+				return nil, err
+			}
+			o := baseline.Evaluate(m, cfg, cl, strat, train, core.DefaultOptions())
+			if o.Feasible() {
+				row.IterTime[name] = o.IterTime
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatTable3 renders the strategy table.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: GPT-3 iteration time by parallel strategy (cluster A, seq 4096)\n")
+	fmt.Fprintf(&b, "  %-12s", "(t, p, d)")
+	for _, m := range Table3Methods() {
+		fmt.Fprintf(&b, " %18s", m)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s", r.Strategy)
+		for _, m := range Table3Methods() {
+			if t, ok := r.IterTime[m]; ok {
+				fmt.Fprintf(&b, " %17.2fs", t)
+			} else {
+				fmt.Fprintf(&b, " %18s", "OOM")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

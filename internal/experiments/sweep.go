@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adapipe/internal/baseline"
+	"adapipe/internal/core"
+	"adapipe/internal/hardware"
+	"adapipe/internal/model"
+	"adapipe/internal/parallel"
+)
+
+// SweepPoint is one sequence length of the memory-pressure sweep.
+type SweepPoint struct {
+	// SeqLen is the sequence length.
+	SeqLen int
+	// Full, Layer, Unit and AdaPipe are simulated iteration times for
+	// full recomputation, whole-layer adaptive recomputation, unit-level
+	// adaptive recomputation (even partitioning) and full AdaPipe; zero
+	// means OOM.
+	Full, Layer, Unit, AdaPipe float64
+	// NoRecompute is the no-recomputation time (zero when OOM).
+	NoRecompute float64
+	// Speedup is AdaPipe over full recomputation.
+	Speedup float64
+}
+
+// SequenceSweep extends the paper's three sequence lengths into a trend
+// study: GPT-3 at (8,8,1) on cluster A, sequence length 2048→32768 with the
+// token budget per iteration held constant. It shows the crossover
+// structure: at short sequences no-recomputation wins and adaptivity has
+// little to add; as memory pressure grows, no-recomputation dies, full
+// recomputation pays an ever-larger compute tax, and AdaPipe's margin
+// widens.
+func SequenceSweep() ([]SweepPoint, error) {
+	cfg := model.GPT3_175B()
+	cl := hardware.ClusterA()
+	strat := parallel.Strategy{TP: 8, PP: 8, DP: 1}
+	var out []SweepPoint
+	for _, seq := range []int{2048, 4096, 8192, 16384, 32768} {
+		gbs := 32 * 16384 / seq // constant tokens per iteration
+		if gbs < strat.PP {
+			gbs = strat.PP
+		}
+		train := parallel.Config{GlobalBatch: gbs, MicroBatch: 1, SeqLen: seq}
+		pt := SweepPoint{SeqLen: seq}
+		eval := func(rec core.RecomputeMode, part core.PartitionMode) float64 {
+			m := baseline.Method{Name: "sweep", Recompute: rec, Partition: part, Schedule: baseline.Sched1F1B}
+			o := baseline.Evaluate(m, cfg, cl, strat, train, core.DefaultOptions())
+			if !o.Feasible() {
+				return 0
+			}
+			return o.IterTime
+		}
+		pt.Full = eval(core.RecomputeFull, core.PartitionEven)
+		pt.NoRecompute = eval(core.RecomputeNone, core.PartitionEven)
+		pt.Layer = eval(core.RecomputeLayerLevel, core.PartitionEven)
+		pt.Unit = eval(core.RecomputeAdaptive, core.PartitionEven)
+		pt.AdaPipe = eval(core.RecomputeAdaptive, core.PartitionAdaptive)
+		if pt.Full > 0 && pt.AdaPipe > 0 {
+			pt.Speedup = pt.Full / pt.AdaPipe
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatSweep renders the sweep.
+func FormatSweep(pts []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("Sequence sweep: GPT-3, (8,8,1), cluster A, constant tokens/iteration\n")
+	fmt.Fprintf(&b, "  %-7s %10s %10s %10s %10s %10s %9s\n",
+		"seq", "no-recomp", "full", "layer", "unit", "AdaPipe", "speedup")
+	cell := func(v float64) string {
+		if v == 0 {
+			return "OOM"
+		}
+		return fmt.Sprintf("%.2fs", v)
+	}
+	for _, pt := range pts {
+		fmt.Fprintf(&b, "  %-7d %10s %10s %10s %10s %10s %8.2fx\n",
+			pt.SeqLen, cell(pt.NoRecompute), cell(pt.Full), cell(pt.Layer), cell(pt.Unit), cell(pt.AdaPipe), pt.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+// Package parallel describes 3D parallelism strategies — tensor (TP), pipeline
+// (PP) and data (DP) parallelism — and enumerates the candidate strategies the
+// evaluation sweeps over (paper §7.1, Table 3).
+package parallel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Strategy is a 3D parallelism configuration. The paper requires the same
+// tensor- and data-parallel size for every pipeline stage, so a single triple
+// describes the whole job.
+type Strategy struct {
+	// TP is the tensor-parallel size (intra-node; paper caps it at 8).
+	TP int
+	// PP is the pipeline-parallel size (number of stages).
+	PP int
+	// DP is the data-parallel size (with ZeRO-1).
+	DP int
+}
+
+// Devices returns the number of accelerators the strategy occupies.
+func (s Strategy) Devices() int { return s.TP * s.PP * s.DP }
+
+// String formats the strategy as the paper's "(t, p, d)" tuples.
+func (s Strategy) String() string { return fmt.Sprintf("(%d, %d, %d)", s.TP, s.PP, s.DP) }
+
+// Validate reports whether the strategy is well formed.
+func (s Strategy) Validate() error {
+	if s.TP < 1 || s.PP < 1 || s.DP < 1 {
+		return fmt.Errorf("parallel: all of TP, PP, DP must be >= 1, got %s", s)
+	}
+	return nil
+}
+
+// Config captures the training-job parameters that interact with the
+// parallelism strategy.
+type Config struct {
+	// GlobalBatch is the number of samples per iteration across the job.
+	GlobalBatch int
+	// MicroBatch is the per-micro-batch sample count (1 in all paper runs).
+	MicroBatch int
+	// SeqLen is the sequence length in tokens.
+	SeqLen int
+}
+
+// MicroBatches returns n, the number of micro-batches one data-parallel
+// replica processes per iteration, or an error when the batch does not divide
+// evenly.
+func (c Config) MicroBatches(s Strategy) (int, error) {
+	if c.MicroBatch <= 0 || c.GlobalBatch <= 0 {
+		return 0, fmt.Errorf("parallel: batch sizes must be positive (global=%d micro=%d)", c.GlobalBatch, c.MicroBatch)
+	}
+	per := c.MicroBatch * s.DP
+	if c.GlobalBatch%per != 0 {
+		return 0, fmt.Errorf("parallel: global batch %d not divisible by micro batch %d x DP %d", c.GlobalBatch, c.MicroBatch, s.DP)
+	}
+	return c.GlobalBatch / per, nil
+}
+
+// Constraint restricts the strategy enumeration.
+type Constraint struct {
+	// MaxTP caps the tensor-parallel size (8 in the paper: TP must stay
+	// inside one node).
+	MaxTP int
+	// MinPP requires at least this many pipeline stages.
+	MinPP int
+	// MaxPP caps the number of pipeline stages.
+	MaxPP int
+	// LayerCount, when non-zero, rejects strategies whose PP exceeds the
+	// number of partitionable layers.
+	LayerCount int
+}
+
+// DefaultConstraint mirrors the paper's search space: TP ≤ 8 and at least
+// two pipeline stages so pipeline parallelism is actually exercised.
+func DefaultConstraint() Constraint { return Constraint{MaxTP: 8, MinPP: 2} }
+
+// Enumerate returns every strategy with TP*PP*DP == devices satisfying the
+// constraint, ordered by (TP, PP, DP). TP, PP and DP are restricted to powers
+// of two, matching the configurations real frameworks accept for these models.
+func Enumerate(devices int, c Constraint) []Strategy {
+	if devices <= 0 {
+		return nil
+	}
+	maxTP := c.MaxTP
+	if maxTP <= 0 {
+		maxTP = devices
+	}
+	var out []Strategy
+	for tp := 1; tp <= maxTP && tp <= devices; tp *= 2 {
+		if devices%tp != 0 {
+			continue
+		}
+		rest := devices / tp
+		for pp := 1; pp <= rest; pp *= 2 {
+			if rest%pp != 0 {
+				continue
+			}
+			dp := rest / pp
+			if !isPow2(dp) {
+				continue
+			}
+			s := Strategy{TP: tp, PP: pp, DP: dp}
+			if c.MinPP > 0 && pp < c.MinPP {
+				continue
+			}
+			if c.MaxPP > 0 && pp > c.MaxPP {
+				continue
+			}
+			if c.LayerCount > 0 && pp > c.LayerCount {
+				continue
+			}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TP != out[j].TP {
+			return out[i].TP < out[j].TP
+		}
+		if out[i].PP != out[j].PP {
+			return out[i].PP < out[j].PP
+		}
+		return out[i].DP < out[j].DP
+	})
+	return out
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }

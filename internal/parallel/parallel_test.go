@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEnumerateCoversDevices(t *testing.T) {
+	for _, devices := range []int{8, 32, 64, 256} {
+		for _, s := range Enumerate(devices, DefaultConstraint()) {
+			if s.Devices() != devices {
+				t.Errorf("strategy %s covers %d devices, want %d", s, s.Devices(), devices)
+			}
+			if s.TP > 8 {
+				t.Errorf("strategy %s violates TP <= 8", s)
+			}
+			if s.PP < 2 {
+				t.Errorf("strategy %s violates PP >= 2", s)
+			}
+		}
+	}
+}
+
+func TestEnumeratePowersOfTwo(t *testing.T) {
+	isPow := func(v int) bool { return v > 0 && v&(v-1) == 0 }
+	for _, s := range Enumerate(64, Constraint{}) {
+		if !isPow(s.TP) || !isPow(s.PP) || !isPow(s.DP) {
+			t.Errorf("strategy %s has non-power-of-two component", s)
+		}
+	}
+}
+
+func TestEnumerateKnownStrategies(t *testing.T) {
+	got := map[string]bool{}
+	for _, s := range Enumerate(64, DefaultConstraint()) {
+		got[s.String()] = true
+	}
+	// The Table 3 strategies must all appear.
+	for _, want := range []string{"(1, 32, 2)", "(2, 16, 2)", "(2, 32, 1)", "(4, 8, 2)", "(4, 16, 1)", "(8, 4, 2)", "(8, 8, 1)"} {
+		if !got[want] {
+			t.Errorf("Enumerate(64) missing %s; got %v", want, got)
+		}
+	}
+}
+
+func TestEnumerateSorted(t *testing.T) {
+	ss := Enumerate(64, Constraint{})
+	for i := 1; i < len(ss); i++ {
+		a, b := ss[i-1], ss[i]
+		if a.TP > b.TP || (a.TP == b.TP && a.PP > b.PP) {
+			t.Fatalf("strategies not sorted: %s before %s", a, b)
+		}
+	}
+}
+
+func TestEnumerateConstraints(t *testing.T) {
+	for _, s := range Enumerate(64, Constraint{MaxTP: 2, MinPP: 4, MaxPP: 8}) {
+		if s.TP > 2 || s.PP < 4 || s.PP > 8 {
+			t.Errorf("strategy %s violates constraint", s)
+		}
+	}
+	if got := Enumerate(64, Constraint{LayerCount: 4}); len(got) == 0 {
+		t.Fatal("layer-count constraint eliminated everything")
+	} else {
+		for _, s := range got {
+			if s.PP > 4 {
+				t.Errorf("strategy %s exceeds layer count 4", s)
+			}
+		}
+	}
+	if got := Enumerate(0, Constraint{}); got != nil {
+		t.Errorf("Enumerate(0) = %v, want nil", got)
+	}
+}
+
+func TestEnumerateProductProperty(t *testing.T) {
+	f := func(k uint8) bool {
+		devices := 1 << (k % 10) // 1..512
+		for _, s := range Enumerate(devices, Constraint{}) {
+			if s.Devices() != devices {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMicroBatches(t *testing.T) {
+	c := Config{GlobalBatch: 128, MicroBatch: 1, SeqLen: 4096}
+	n, err := c.MicroBatches(Strategy{TP: 8, PP: 8, DP: 2})
+	if err != nil || n != 64 {
+		t.Fatalf("MicroBatches = %d, %v; want 64, nil", n, err)
+	}
+	if _, err := c.MicroBatches(Strategy{TP: 1, PP: 1, DP: 3}); err == nil {
+		t.Error("non-divisible batch accepted")
+	}
+	bad := Config{GlobalBatch: 0, MicroBatch: 1}
+	if _, err := bad.MicroBatches(Strategy{TP: 1, PP: 1, DP: 1}); err == nil {
+		t.Error("zero global batch accepted")
+	}
+	bad = Config{GlobalBatch: 8, MicroBatch: 0}
+	if _, err := bad.MicroBatches(Strategy{TP: 1, PP: 1, DP: 1}); err == nil {
+		t.Error("zero micro batch accepted")
+	}
+}
+
+func TestStrategyValidate(t *testing.T) {
+	if err := (Strategy{TP: 1, PP: 1, DP: 1}).Validate(); err != nil {
+		t.Errorf("minimal strategy rejected: %v", err)
+	}
+	for _, s := range []Strategy{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2}} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid strategy %s accepted", s)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if got := (Strategy{TP: 4, PP: 8, DP: 2}).String(); got != "(4, 8, 2)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SolveExact is an optimal variant of Algorithm 1. The published algorithm
+// keeps a single best state per (stage, start-layer) — the one minimizing
+// its local T = W + E + (n−p+s)·M — which can discard a state whose larger
+// local T would have combined better upstream (the "local minimums" §3
+// alludes to). SolveExact instead keeps the full Pareto frontier over the
+// state vector (W, E, M, F, B): the parent recurrences are monotone
+// non-decreasing in all five components, so a dominated state can never
+// participate in an optimal solution and pruning to the frontier is exact.
+//
+// maxFrontier caps the per-cell frontier size as a safety valve; 0 means
+// unlimited. When the cap trims a frontier, the result may lose optimality
+// (it keeps the locally-best states by T), which the returned exact flag
+// reports.
+func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
+	if err := check(L, p, n); err != nil {
+		return Plan{}, false, err
+	}
+
+	type state struct {
+		W, E, M, F, B float64
+		split         int
+		next          int // index into the next stage's frontier
+	}
+	// frontiers[s][i] is the Pareto set for layers i..L−1, stages s..p−1.
+	frontiers := make([][][]state, p)
+	for s := range frontiers {
+		frontiers[s] = make([][]state, L)
+	}
+	exact := true
+
+	prune := func(states []state, s int) []state {
+		if len(states) <= 1 {
+			return states
+		}
+		// Sort by W then filter dominated states pairwise; with five
+		// dimensions a quadratic filter is fine at these sizes.
+		sort.Slice(states, func(a, b int) bool {
+			if states[a].W != states[b].W {
+				return states[a].W < states[b].W
+			}
+			return states[a].E < states[b].E
+		})
+		var out []state
+		for _, cand := range states {
+			dominated := false
+			for _, kept := range out {
+				if kept.W <= cand.W && kept.E <= cand.E && kept.M <= cand.M &&
+					kept.F <= cand.F && kept.B <= cand.B {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				out = append(out, cand)
+			}
+		}
+		if maxFrontier > 0 && len(out) > maxFrontier {
+			exact = false
+			sort.Slice(out, func(a, b int) bool {
+				ta := out[a].W + out[a].E + float64(n-p+s)*out[a].M
+				tb := out[b].W + out[b].E + float64(n-p+s)*out[b].M
+				return ta < tb
+			})
+			out = out[:maxFrontier]
+		}
+		return out
+	}
+
+	for i := 0; i < L; i++ {
+		f, b, ok := cost(p-1, i, L-1)
+		if !ok {
+			continue
+		}
+		frontiers[p-1][i] = []state{{W: f, E: b, M: f + b, F: f, B: b, split: L - 1}}
+	}
+	for s := p - 2; s >= 0; s-- {
+		for i := L - p + s; i >= 0; i-- {
+			var states []state
+			for j := i; j <= L-p+s; j++ {
+				nextStates := frontiers[s+1][j+1]
+				if len(nextStates) == 0 {
+					continue
+				}
+				f, b, ok := cost(s, i, j)
+				if !ok {
+					continue
+				}
+				for ni, nx := range nextStates {
+					states = append(states, state{
+						W:     f + math.Max(nx.W+nx.B, float64(p-s-1)*f),
+						E:     b + math.Max(nx.E+nx.F, float64(p-s-1)*b),
+						M:     math.Max(nx.M, f+b),
+						F:     f,
+						B:     b,
+						split: j,
+						next:  ni,
+					})
+				}
+			}
+			frontiers[s][i] = prune(states, s)
+		}
+	}
+
+	root := frontiers[0][0]
+	if len(root) == 0 {
+		return Plan{}, exact, fmt.Errorf("partition: no memory-feasible partitioning of %d layers into %d stages", L, p)
+	}
+	bestIdx, bestT := 0, math.Inf(1)
+	for idx, st := range root {
+		if t := st.W + st.E + float64(n-p)*st.M; t < bestT {
+			bestT, bestIdx = t, idx
+		}
+	}
+	plan := Plan{
+		Bounds: make([]int, p+1),
+		Total:  bestT,
+		W:      root[bestIdx].W,
+		E:      root[bestIdx].E,
+		M:      root[bestIdx].M,
+		Fwd:    make([]float64, p),
+		Bwd:    make([]float64, p),
+	}
+	at, idx := 0, bestIdx
+	for s := 0; s < p; s++ {
+		st := frontiers[s][at][idx]
+		plan.Bounds[s] = at
+		plan.Fwd[s] = st.F
+		plan.Bwd[s] = st.B
+		at, idx = st.split+1, st.next
+	}
+	plan.Bounds[p] = L
+	return plan, exact, nil
+}

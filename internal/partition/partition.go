@@ -1,0 +1,228 @@
+// Package partition implements the adaptive stage-partitioning algorithm of
+// §5 (Algorithm 1): a dynamic program over the transformer layer sequence
+// that chooses stage boundaries to minimize total 1F1B iteration time,
+// consuming the per-(stage, layer-range) optimal forward/backward times
+// produced by the recomputation DP of §4.
+package partition
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostFn reports the optimal forward and backward times (seconds per
+// micro-batch) of layers i..j (inclusive, 0-based) when they run as stage s,
+// and whether that assignment fits in stage s's memory. It corresponds to
+// the f[s,i,j] / b[s,i,j] arrays of Algorithm 1.
+type CostFn func(s, i, j int) (fwd, bwd float64, ok bool)
+
+// State is the DP state of Algorithm 1: the best result for the layer suffix
+// starting at some layer when stages s..p−1 remain.
+type State struct {
+	// W is the warmup-phase time from this stage to the last (Eq. 3).
+	W float64
+	// E is the ending-phase time from this stage to the last.
+	E float64
+	// M is the maximum forward+backward (micro-step) time from this stage
+	// to the last — the steady-phase bottleneck.
+	M float64
+	// F and B are the forward and backward times of this stage itself.
+	F float64
+	// B is the backward time of this stage.
+	B float64
+	// T is the modeled total time W + E + (n−p+s)·M.
+	T float64
+	// Split is the last layer index of this stage (the stage covers
+	// layers i..Split and the next stage starts at Split+1).
+	Split int
+	// OK is false when no memory-feasible split exists.
+	OK bool
+}
+
+// Plan is a complete partitioning.
+type Plan struct {
+	// Bounds has p+1 entries; stage s covers layers Bounds[s]..Bounds[s+1]−1.
+	Bounds []int
+	// Total is the modeled iteration time W₀ + E₀ + (n−p)·M₀.
+	Total float64
+	// W, E and M are the stage-0 phase values.
+	W, E, M float64
+	// Fwd and Bwd are the per-stage forward/backward times.
+	Fwd, Bwd []float64
+}
+
+// StageLayers returns the half-open layer range [lo, hi) of stage s.
+func (pl Plan) StageLayers(s int) (lo, hi int) { return pl.Bounds[s], pl.Bounds[s+1] }
+
+// Solve runs Algorithm 1 for L layers, p stages and n micro-batches.
+// It returns an error when the inputs are malformed or no memory-feasible
+// partitioning exists.
+func Solve(L, p, n int, cost CostFn) (Plan, error) {
+	if err := check(L, p, n); err != nil {
+		return Plan{}, err
+	}
+	// P[s][i]: best result for layers i..L−1 with stages s..p−1.
+	P := make([][]State, p)
+	for s := range P {
+		P[s] = make([]State, L)
+	}
+
+	// Base case: the last stage takes everything that remains.
+	for i := 0; i < L; i++ {
+		f, b, ok := cost(p-1, i, L-1)
+		if !ok {
+			continue
+		}
+		P[p-1][i] = State{
+			W: f, E: b, M: f + b, F: f, B: b,
+			T:     f + b + float64(n-1)*(f+b),
+			Split: L - 1,
+			OK:    true,
+		}
+	}
+
+	for s := p - 2; s >= 0; s-- {
+		// Stage s must start no later than layer L−(p−s) so every
+		// later stage keeps at least one layer.
+		for i := L - p + s; i >= 0; i-- {
+			best := State{T: math.Inf(1)}
+			for j := i; j <= L-p+s; j++ {
+				next := P[s+1][j+1]
+				if !next.OK {
+					continue
+				}
+				f, b, ok := cost(s, i, j)
+				if !ok {
+					continue
+				}
+				w := f + math.Max(next.W+next.B, float64(p-s-1)*f)
+				e := b + math.Max(next.E+next.F, float64(p-s-1)*b)
+				m := math.Max(next.M, f+b)
+				t := w + e + float64(n-p+s)*m
+				if t < best.T {
+					best = State{W: w, E: e, M: m, F: f, B: b, T: t, Split: j, OK: true}
+				}
+			}
+			P[s][i] = best
+		}
+	}
+
+	root := P[0][0]
+	if !root.OK {
+		return Plan{}, fmt.Errorf("partition: no memory-feasible partitioning of %d layers into %d stages", L, p)
+	}
+	plan := Plan{Bounds: make([]int, p+1), Total: root.T, W: root.W, E: root.E, M: root.M}
+	plan.Fwd = make([]float64, p)
+	plan.Bwd = make([]float64, p)
+	at := 0
+	for s := 0; s < p; s++ {
+		plan.Bounds[s] = at
+		st := P[s][at]
+		plan.Fwd[s] = st.F
+		plan.Bwd[s] = st.B
+		at = st.Split + 1
+	}
+	plan.Bounds[p] = L
+	return plan, nil
+}
+
+// Evaluate computes the modeled iteration time of an arbitrary partitioning
+// under the same 1F1B cost model Algorithm 1 optimizes (Eq. 3 recurrences).
+// bounds must have p+1 entries. It returns ok=false when any stage is
+// memory-infeasible.
+func Evaluate(bounds []int, n int, cost CostFn) (total, w0, e0, m0 float64, ok bool) {
+	p := len(bounds) - 1
+	fs := make([]float64, p)
+	bs := make([]float64, p)
+	for s := 0; s < p; s++ {
+		f, b, feasible := cost(s, bounds[s], bounds[s+1]-1)
+		if !feasible {
+			return 0, 0, 0, 0, false
+		}
+		fs[s], bs[s] = f, b
+	}
+	w := fs[p-1]
+	e := bs[p-1]
+	m := fs[p-1] + bs[p-1]
+	for s := p - 2; s >= 0; s-- {
+		w = fs[s] + math.Max(w+bs[s+1], float64(p-s-1)*fs[s])
+		e = bs[s] + math.Max(e+fs[s+1], float64(p-s-1)*bs[s])
+		m = math.Max(m, fs[s]+bs[s])
+	}
+	return w + e + float64(n-p)*m, w, e, m, true
+}
+
+// BruteForce enumerates every partitioning of L layers into p non-empty
+// contiguous stages, evaluates each with Evaluate, and returns the best.
+// It is the test oracle; exponential in p.
+func BruteForce(L, p, n int, cost CostFn) (Plan, error) {
+	if err := check(L, p, n); err != nil {
+		return Plan{}, err
+	}
+	bounds := make([]int, p+1)
+	bounds[0], bounds[p] = 0, L
+	best := Plan{Total: math.Inf(1)}
+	var rec func(stage int)
+	rec = func(stage int) {
+		if stage == p-1 {
+			// The last stage takes everything that remains.
+			total, w, e, m, ok := Evaluate(bounds, n, cost)
+			if ok && total < best.Total {
+				best = Plan{Bounds: append([]int(nil), bounds...), Total: total, W: w, E: e, M: m}
+			}
+			return
+		}
+		// Stage `stage` starts at bounds[stage]; choose its end, leaving
+		// at least one layer per remaining stage.
+		for end := bounds[stage] + 1; end <= L-(p-stage-1); end++ {
+			bounds[stage+1] = end
+			rec(stage + 1)
+		}
+	}
+	rec(0)
+	if math.IsInf(best.Total, 1) {
+		return Plan{}, fmt.Errorf("partition: brute force found no feasible partitioning")
+	}
+	best.Fwd = make([]float64, p)
+	best.Bwd = make([]float64, p)
+	for s := 0; s < p; s++ {
+		f, b, _ := cost(s, best.Bounds[s], best.Bounds[s+1]-1)
+		best.Fwd[s], best.Bwd[s] = f, b
+	}
+	return best, nil
+}
+
+// Even returns the uniform partitioning baseline: decoder layers split as
+// evenly as possible, with the remainder given to the outer stages so the
+// embedding and head layers (assigned to the first and last stage) are
+// balanced the way Megatron-style frameworks do it. bounds[0]=0,
+// bounds[p]=L.
+func Even(L, p int) []int {
+	bounds := make([]int, p+1)
+	base := L / p
+	rem := L % p
+	at := 0
+	for s := 0; s < p; s++ {
+		bounds[s] = at
+		at += base
+		if s >= p-rem { // trailing stages absorb the remainder
+			at++
+		}
+	}
+	bounds[p] = L
+	return bounds
+}
+
+func check(L, p, n int) error {
+	switch {
+	case L <= 0:
+		return fmt.Errorf("partition: need at least one layer, got %d", L)
+	case p <= 0:
+		return fmt.Errorf("partition: need at least one stage, got %d", p)
+	case p > L:
+		return fmt.Errorf("partition: %d stages exceed %d layers", p, L)
+	case n < p:
+		return fmt.Errorf("partition: 1F1B needs micro-batches n (%d) >= stages p (%d)", n, p)
+	}
+	return nil
+}

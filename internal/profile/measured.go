@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"fmt"
+
+	"adapipe/internal/hardware"
+	"adapipe/internal/model"
+	"adapipe/internal/parallel"
+)
+
+// Measurement is one profiled computation unit, as the paper's search engine
+// obtains it from a 5–10 iteration preliminary run (§4.2): forward and
+// backward wall time plus the bytes the unit pins when saved.
+type Measurement struct {
+	// FwdSeconds is the measured forward time of the unit.
+	FwdSeconds float64
+	// BwdSeconds is the measured backward time (without recomputation).
+	BwdSeconds float64
+	// SavedBytes is the activation footprint when the unit is saved.
+	SavedBytes int64
+}
+
+// MeasurementKey identifies a computation unit within a layer kind.
+type MeasurementKey struct {
+	// Layer is the layer kind.
+	Layer model.LayerKind
+	// Unit is the unit kind.
+	Unit model.UnitKind
+}
+
+// FromMeasurements builds a Profile from real profiling data instead of the
+// analytical roofline, preserving the paper's deployment path: run a few
+// iterations on the actual cluster, record per-unit timestamps and sizes,
+// then search. Every unit of every layer kind present in the model must be
+// covered. boundaryBytes is the stage-boundary activation payload (per
+// micro-batch, per TP rank); commBandwidth/latency may be zero if the
+// caller models communication elsewhere.
+func FromMeasurements(cfg model.Config, strat parallel.Strategy, seqLen, microBatch int,
+	measurements map[MeasurementKey]Measurement, boundaryBytes int64) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := strat.Validate(); err != nil {
+		return nil, err
+	}
+	if seqLen <= 0 || microBatch <= 0 {
+		return nil, fmt.Errorf("profile: seqLen and microBatch must be positive (got %d, %d)", seqLen, microBatch)
+	}
+	if boundaryBytes <= 0 {
+		return nil, fmt.Errorf("profile: boundaryBytes must be positive, got %d", boundaryBytes)
+	}
+	p := &Profile{
+		Model:      cfg,
+		Device:     hardware.Device{Name: "measured"},
+		Strategy:   strat,
+		SeqLen:     seqLen,
+		MicroBatch: microBatch,
+		Layers:     make(map[model.LayerKind]LayerCost, 4),
+		CommBytes:  boundaryBytes,
+	}
+	for _, kind := range []model.LayerKind{model.Embedding, model.Attention, model.FFN, model.Head} {
+		lc := LayerCost{Kind: kind, BoundaryBytes: boundaryBytes}
+		for _, u := range cfg.Units(kind) {
+			m, ok := measurements[MeasurementKey{Layer: kind, Unit: u.Kind}]
+			if !ok {
+				return nil, fmt.Errorf("profile: missing measurement for %v/%v", kind, u.Kind)
+			}
+			if m.FwdSeconds <= 0 || m.BwdSeconds <= 0 || m.SavedBytes <= 0 {
+				return nil, fmt.Errorf("profile: non-positive measurement for %v/%v: %+v", kind, u.Kind, m)
+			}
+			uc := UnitCost{Unit: u, FwdTime: m.FwdSeconds, BwdTime: m.BwdSeconds, SavedBytes: m.SavedBytes}
+			lc.Units = append(lc.Units, uc)
+			lc.FwdTime += uc.FwdTime
+			lc.BwdTime += uc.BwdTime
+			lc.SavedBytesAll += uc.SavedBytes
+			if u.AlwaysSaved {
+				lc.SavedBytesMin += uc.SavedBytes
+			}
+		}
+		p.Layers[kind] = lc
+	}
+	return p, nil
+}
+
+// Measurements extracts this profile's unit costs in measurement form — the
+// inverse of FromMeasurements, useful for persisting a profile or perturbing
+// it in calibration tests.
+func (p *Profile) Measurements() map[MeasurementKey]Measurement {
+	out := make(map[MeasurementKey]Measurement)
+	for kind, lc := range p.Layers {
+		for _, uc := range lc.Units {
+			out[MeasurementKey{Layer: kind, Unit: uc.Unit.Kind}] = Measurement{
+				FwdSeconds: uc.FwdTime,
+				BwdSeconds: uc.BwdTime,
+				SavedBytes: uc.SavedBytes,
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+// Package profile synthesizes the per-computation-unit costs the AdaPipe
+// search engine consumes: forward time Time_f(U), backward time Time_b(U) and
+// the activation bytes Mem(U) a unit occupies when configured as saved (§4.2).
+//
+// The paper obtains these numbers by profiling 5–10 training iterations on
+// the real cluster. Without that hardware, this package derives them
+// analytically from a roofline model: dense GEMMs and the fused attention
+// kernel are compute-bound (FLOPs / effective FLOP/s) while element-wise
+// kernels (LayerNorm, activations, embedding lookup) are bandwidth-bound
+// (bytes moved / effective bandwidth). The search only depends on the
+// relative cost structure — which units are memory-heavy but cheap to
+// recompute — and the roofline reproduces exactly that structure.
+package profile
+
+import (
+	"fmt"
+
+	"adapipe/internal/hardware"
+	"adapipe/internal/model"
+	"adapipe/internal/parallel"
+)
+
+// UnitCost is the profiled cost of one computation unit.
+type UnitCost struct {
+	// Unit identifies the computation unit.
+	Unit model.Unit
+	// FwdTime is the forward execution time in seconds.
+	FwdTime float64
+	// BwdTime is the gradient-computation time in seconds, excluding any
+	// recomputation (the recomputation DP adds FwdTime for recomputed
+	// units).
+	BwdTime float64
+	// SavedBytes is the activation memory the unit pins per micro-batch
+	// when configured as saved: its output tensor plus internally saved
+	// tensors (e.g. the flash-attention log-sum-exp).
+	SavedBytes int64
+}
+
+// LayerCost aggregates the unit costs of one layer kind. Transformer layers
+// of the same kind are homogeneous (§4), so a single LayerCost describes
+// every instance.
+type LayerCost struct {
+	// Kind is the layer kind the costs describe.
+	Kind model.LayerKind
+	// Units are the per-unit costs in execution order.
+	Units []UnitCost
+	// FwdTime is the total forward time of the layer.
+	FwdTime float64
+	// BwdTime is the total backward time of the layer (no recomputation).
+	BwdTime float64
+	// SavedBytesAll is the activation memory with every unit saved.
+	SavedBytesAll int64
+	// SavedBytesMin is the activation memory with only the AlwaysSaved
+	// units kept (AdaPipe's maximum-recomputation floor).
+	SavedBytesMin int64
+	// BoundaryBytes is the size of the layer's output tensor — what
+	// classic full recomputation saves, and what flows between pipeline
+	// stages at layer boundaries.
+	BoundaryBytes int64
+}
+
+// Profile holds the synthesized costs for one (model, device, strategy,
+// sequence length, micro-batch) tuple.
+type Profile struct {
+	// Model is the profiled architecture.
+	Model model.Config
+	// Device is the accelerator model.
+	Device hardware.Device
+	// Strategy is the 3D parallelism configuration.
+	Strategy parallel.Strategy
+	// SeqLen is the sequence length in tokens.
+	SeqLen int
+	// MicroBatch is the micro-batch size in samples.
+	MicroBatch int
+	// Layers maps each layer kind to its cost description.
+	Layers map[model.LayerKind]LayerCost
+	// CommBytes is the per-micro-batch activation payload crossing a
+	// pipeline-stage boundary (one boundary tensor shard per TP rank).
+	CommBytes int64
+	// TPBandwidth is the intra-node link bandwidth used for tensor-parallel
+	// collectives, bytes/s; zero disables TP communication modeling.
+	TPBandwidth float64
+}
+
+// New synthesizes a Profile without tensor-parallel communication costs
+// (equivalent to NewWithComm with zero bandwidth).
+func New(cfg model.Config, dev hardware.Device, strat parallel.Strategy, seqLen, microBatch int) (*Profile, error) {
+	return NewWithComm(cfg, dev, strat, seqLen, microBatch, 0)
+}
+
+// NewWithComm synthesizes a Profile including tensor-parallel collective
+// time. With sequence parallelism each Attention/FFN layer performs one
+// all-gather entering and one reduce-scatter leaving its GEMM region, moving
+// the full activation tensor with a (t−1)/t ring factor over the intra-node
+// links; the backward pass mirrors it. This is what makes very large TP lose
+// to mid-size TP in Table 3 despite its smaller bubble ratio.
+func NewWithComm(cfg model.Config, dev hardware.Device, strat parallel.Strategy, seqLen, microBatch int, tpBandwidth float64) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if err := strat.Validate(); err != nil {
+		return nil, err
+	}
+	if seqLen <= 0 || microBatch <= 0 {
+		return nil, fmt.Errorf("profile: seqLen and microBatch must be positive (got %d, %d)", seqLen, microBatch)
+	}
+	p := &Profile{
+		Model:       cfg,
+		Device:      dev,
+		Strategy:    strat,
+		SeqLen:      seqLen,
+		MicroBatch:  microBatch,
+		Layers:      make(map[model.LayerKind]LayerCost, 4),
+		TPBandwidth: tpBandwidth,
+	}
+	for _, kind := range []model.LayerKind{model.Embedding, model.Attention, model.FFN, model.Head} {
+		p.Layers[kind] = p.layerCost(kind)
+	}
+	// The boundary tensor between stages is the hidden-state activation,
+	// sharded across TP ranks by sequence parallelism.
+	p.CommBytes = p.hiddenBytes()
+	return p, nil
+}
+
+// hiddenBytes is the size of one [micro-batch, seq, hidden] activation shard.
+func (p *Profile) hiddenBytes() int64 {
+	return int64(p.MicroBatch) * int64(p.SeqLen) * int64(p.Model.Hidden) * int64(p.Model.BytesPerValue) / int64(p.Strategy.TP)
+}
+
+// ffnBytes is the size of one [micro-batch, seq, ffn] activation shard.
+func (p *Profile) ffnBytes() int64 {
+	return int64(p.MicroBatch) * int64(p.SeqLen) * int64(p.Model.FFNHidden) * int64(p.Model.BytesPerValue) / int64(p.Strategy.TP)
+}
+
+// kvBytes is the size of one [micro-batch, seq, kv-width] activation shard.
+func (p *Profile) kvBytes() int64 {
+	return int64(p.MicroBatch) * int64(p.SeqLen) * int64(p.Model.KVWidth()) * int64(p.Model.BytesPerValue) / int64(p.Strategy.TP)
+}
+
+// shardEfficiency models how kernel efficiency degrades as tensor
+// parallelism shrinks per-rank tensor shapes (§7.3: "smaller TP ... enhances
+// the computation efficiency of operators as tensors have larger shapes").
+// Each doubling of TP costs about 4%.
+func (p *Profile) shardEfficiency() float64 {
+	eff := 1.0
+	for t := 1; t < p.Strategy.TP; t *= 2 {
+		eff *= 0.96
+	}
+	return eff
+}
+
+// gemmTime converts GEMM FLOPs into seconds on the device.
+func (p *Profile) gemmTime(flops float64) float64 {
+	return flops / (p.Device.EffectiveGEMMFLOPS() * p.shardEfficiency())
+}
+
+// attnTime converts fused-attention FLOPs into seconds on the device.
+func (p *Profile) attnTime(flops float64) float64 {
+	return flops / (p.Device.EffectiveAttnFLOPS() * p.shardEfficiency())
+}
+
+// memTime converts bytes moved into seconds on the device.
+func (p *Profile) memTime(bytes float64) float64 {
+	return bytes / p.Device.EffectiveBandwidth()
+}
+
+// unitCost synthesizes the cost of one computation unit.
+func (p *Profile) unitCost(u model.Unit) UnitCost {
+	b := float64(p.MicroBatch)
+	s := float64(p.SeqLen)
+	h := float64(p.Model.Hidden)
+	f := float64(p.Model.FFNHidden)
+	kv := float64(p.Model.KVWidth())
+	v := float64(p.Model.Vocab)
+	t := float64(p.Strategy.TP)
+	elem := float64(p.Model.BytesPerValue)
+
+	c := UnitCost{Unit: u}
+	switch u.Kind {
+	case model.UnitLayerNorm, model.UnitHeadNorm:
+		// Residual add + LayerNorm: read input twice, write output.
+		moved := 3 * b * s * h * elem / t
+		c.FwdTime = p.memTime(moved)
+		c.BwdTime = p.memTime(moved)
+		c.SavedBytes = p.hiddenBytes()
+	case model.UnitQProj, model.UnitOutProj:
+		fl := 2 * b * s * h * h / t
+		c.FwdTime = p.gemmTime(fl)
+		c.BwdTime = 2 * c.FwdTime // dgrad + wgrad
+		c.SavedBytes = p.hiddenBytes()
+	case model.UnitKProj, model.UnitVProj:
+		fl := 2 * b * s * h * kv / t
+		c.FwdTime = p.gemmTime(fl)
+		c.BwdTime = 2 * c.FwdTime
+		c.SavedBytes = p.kvBytes()
+	case model.UnitCoreAttention:
+		// QKᵀ and PV batched matmuls: 4·b·s²·h multiply-adds total,
+		// causal masking halves the work.
+		fl := 4 * b * s * s * h / t / 2
+		c.FwdTime = p.attnTime(fl)
+		// Flash attention recomputes the score matrix in its own
+		// backward, making it ~2.5× the forward.
+		c.BwdTime = 2.5 * c.FwdTime
+		// Output plus the fp32 log-sum-exp the kernel saves internally.
+		lse := b * s * float64(p.Model.Heads) * 4 / t
+		c.SavedBytes = p.hiddenBytes() + int64(lse)
+	case model.UnitFFNUp, model.UnitFFNGate:
+		fl := 2 * b * s * h * f / t
+		c.FwdTime = p.gemmTime(fl)
+		c.BwdTime = 2 * c.FwdTime
+		c.SavedBytes = p.ffnBytes()
+	case model.UnitFFNAct:
+		reads := 2.0
+		if p.Model.GatedFFN {
+			reads = 3.0 // up and gate inputs
+		}
+		moved := reads * b * s * f * elem / t
+		c.FwdTime = p.memTime(moved)
+		c.BwdTime = p.memTime(moved)
+		c.SavedBytes = p.ffnBytes()
+	case model.UnitFFNDown:
+		fl := 2 * b * s * f * h / t
+		c.FwdTime = p.gemmTime(fl)
+		c.BwdTime = 2 * c.FwdTime
+		c.SavedBytes = p.hiddenBytes()
+	case model.UnitEmbedLookup:
+		moved := 2 * b * s * h * elem / t
+		c.FwdTime = p.memTime(moved)
+		c.BwdTime = p.memTime(moved)
+		c.SavedBytes = p.hiddenBytes()
+	case model.UnitHeadProj:
+		fl := 2 * b * s * h * v / t
+		c.FwdTime = p.gemmTime(fl)
+		c.BwdTime = 2 * c.FwdTime
+		// Logits shard; large, but in-flight only at the last stage.
+		c.SavedBytes = int64(b * s * v * elem / t)
+	}
+	return c
+}
+
+// tpCommTime returns the per-layer tensor-parallel collective time: one
+// all-gather plus one reduce-scatter of the full activation tensor per pass.
+func (p *Profile) tpCommTime(kind model.LayerKind) float64 {
+	t := p.Strategy.TP
+	if p.TPBandwidth <= 0 || t <= 1 {
+		return 0
+	}
+	switch kind {
+	case model.Attention, model.FFN, model.Head:
+		full := float64(p.MicroBatch) * float64(p.SeqLen) * float64(p.Model.Hidden) * float64(p.Model.BytesPerValue)
+		ring := float64(t-1) / float64(t)
+		return 2 * full * ring / p.TPBandwidth
+	default:
+		return 0
+	}
+}
+
+// layerCost aggregates the unit costs of one layer kind.
+func (p *Profile) layerCost(kind model.LayerKind) LayerCost {
+	lc := LayerCost{Kind: kind, BoundaryBytes: p.hiddenBytes()}
+	for _, u := range p.Model.Units(kind) {
+		uc := p.unitCost(u)
+		lc.Units = append(lc.Units, uc)
+		lc.FwdTime += uc.FwdTime
+		lc.BwdTime += uc.BwdTime
+		lc.SavedBytesAll += uc.SavedBytes
+		if u.AlwaysSaved {
+			lc.SavedBytesMin += uc.SavedBytes
+		}
+	}
+	comm := p.tpCommTime(kind)
+	lc.FwdTime += comm
+	lc.BwdTime += comm
+	return lc
+}
+
+// RangeFwdTime returns the forward time of a contiguous layer range.
+func (p *Profile) RangeFwdTime(layers []model.Layer) float64 {
+	var t float64
+	for _, l := range layers {
+		t += p.Layers[l.Kind].FwdTime
+	}
+	return t
+}
+
+// RangeBwdTime returns the backward time of a contiguous layer range with no
+// recomputation.
+func (p *Profile) RangeBwdTime(layers []model.Layer) float64 {
+	var t float64
+	for _, l := range layers {
+		t += p.Layers[l.Kind].BwdTime
+	}
+	return t
+}
+
+// CommTime returns the stage-boundary transfer time of one micro-batch
+// activation given a link bandwidth and latency.
+func (p *Profile) CommTime(bandwidth, latency float64) float64 {
+	if bandwidth <= 0 {
+		return 0
+	}
+	return latency + float64(p.CommBytes)/bandwidth
+}

@@ -1,0 +1,37 @@
+package recompute
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzOptimizeAgainstBruteForce feeds arbitrary small knapsack instances to
+// the production solver and the exponential oracle, asserting equal optimal
+// values and internally consistent solutions.
+func FuzzOptimizeAgainstBruteForce(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint8(2), uint8(7), uint8(1), uint8(5), uint16(20))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint16(0))
+	f.Add(uint8(250), uint8(3), uint8(9), uint8(200), uint8(50), uint8(2), uint16(300))
+	f.Fuzz(func(t *testing.T, t1, s1, t2, s2, t3, s3 uint8, capacity uint16) {
+		groups := []Group{
+			{Key: "a", FwdTime: float64(t1%60) + 1, Bytes: int64(s1%50) + 1, Count: 3},
+			{Key: "b", FwdTime: float64(t2%60) + 1, Bytes: int64(s2%50) + 1, Count: 2},
+			{Key: "c", FwdTime: float64(t3%60) + 1, Bytes: int64(s3%50) + 1, Count: 2, AlwaysSaved: true},
+		}
+		cap := int64(capacity % 400)
+		got := Optimize(groups, cap, Options{Exact: true})
+		want := BruteForce(groups, cap)
+		if got.Feasible != want.Feasible {
+			t.Fatalf("feasibility mismatch: %v vs %v", got.Feasible, want.Feasible)
+		}
+		if !got.Feasible {
+			return
+		}
+		if math.Abs(got.SavedTime-want.SavedTime) > 1e-9 {
+			t.Fatalf("saved time %g, oracle %g", got.SavedTime, want.SavedTime)
+		}
+		if got.SavedBytes > cap {
+			t.Fatalf("solution uses %d bytes over capacity %d", got.SavedBytes, cap)
+		}
+	})
+}

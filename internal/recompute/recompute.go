@@ -1,0 +1,311 @@
+// Package recompute solves the adaptive-recomputation problem of §4.3: given
+// the computation units of one pipeline stage and a memory budget for saved
+// intermediates, choose the save/recompute set that minimizes backward time.
+//
+// Minimizing backward time is equivalent to maximizing the total forward time
+// of the *saved* units (Equation 1), a 0/1 knapsack. Transformer stages
+// contain many isomorphic layers, so units arrive as groups of identical
+// copies and the knapsack is bounded rather than 0/1; binary splitting keeps
+// the item count logarithmic in the copy count. Following §5.3, unit sizes
+// are divided by their greatest common divisor (after conservative rounding
+// up to a quantum) to shrink the DP capacity.
+package recompute
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group describes one class of identical computation units within a stage
+// (e.g. "every FFNUp GEMM of the stage's 12 FFN layers").
+type Group struct {
+	// Key identifies the group, e.g. "Attention/FFNUp".
+	Key string
+	// FwdTime is Time_f(U) of one copy in seconds — the recomputation cost
+	// avoided per saved copy.
+	FwdTime float64
+	// Bytes is Mem(U) of one copy per micro-batch.
+	Bytes int64
+	// Count is the number of identical copies in the stage.
+	Count int
+	// AlwaysSaved marks units that are saved unconditionally (§4.2:
+	// Attention/FFN layer outputs); they consume budget but are not
+	// searched.
+	AlwaysSaved bool
+}
+
+// Solution is the result of the knapsack search.
+type Solution struct {
+	// Feasible is false when even maximum recomputation (only AlwaysSaved
+	// units kept) exceeds the budget.
+	Feasible bool
+	// SavedTime is Σ Time_f over the saved optional copies — the T̃_{s,N}(M)
+	// of Equation 1.
+	SavedTime float64
+	// SavedBytes is the per-micro-batch activation footprint of the chosen
+	// strategy, including AlwaysSaved units.
+	SavedBytes int64
+	// Saved maps group key to the number of copies saved (including
+	// AlwaysSaved groups at full count).
+	Saved map[string]int
+	// SavedUnits is the total number of saved copies.
+	SavedUnits int
+	// TotalUnits is the total number of copies in the stage.
+	TotalUnits int
+}
+
+// Options tunes the solver.
+type Options struct {
+	// Quantum is the conservative rounding granularity in bytes: unit
+	// sizes are rounded up to a multiple before the DP, so a solution
+	// never exceeds the real budget. Zero selects 1 MiB.
+	Quantum int64
+	// DisableGCD turns off the §5.3 GCD capacity reduction (kept for the
+	// ablation benchmark).
+	DisableGCD bool
+	// Exact solves without quantum rounding (Quantum=1). Exponentially
+	// slower on real budgets; intended for tests.
+	Exact bool
+}
+
+const defaultQuantum = int64(1) << 20
+
+// Optimize solves the bounded knapsack for one stage. capacity is the
+// per-micro-batch budget for saved intermediates: the caller subtracts the
+// static consumption from device memory and divides by the in-flight
+// micro-batch count p−s (§4.2 multiplies the other way; the two are
+// equivalent and per-micro budgets keep the DP capacity small).
+func Optimize(groups []Group, capacity int64, opts Options) Solution {
+	sol := Solution{Saved: make(map[string]int, len(groups))}
+	quantum := opts.Quantum
+	if quantum <= 0 {
+		quantum = defaultQuantum
+	}
+	if opts.Exact {
+		quantum = 1
+	}
+
+	// Mandatory units first.
+	remaining := capacity
+	for _, g := range groups {
+		sol.TotalUnits += g.Count
+		if g.AlwaysSaved {
+			remaining -= roundUp(g.Bytes, quantum) * int64(g.Count)
+			sol.Saved[g.Key] = g.Count
+			sol.SavedUnits += g.Count
+			sol.SavedBytes += g.Bytes * int64(g.Count)
+		}
+	}
+	if remaining < 0 {
+		return Solution{Saved: sol.Saved, TotalUnits: sol.TotalUnits}
+	}
+	sol.Feasible = true
+
+	// Optional groups, zero-size copies saved for free.
+	var opt []Group
+	for _, g := range groups {
+		if g.AlwaysSaved || g.Count <= 0 {
+			continue
+		}
+		if g.Bytes <= 0 {
+			sol.Saved[g.Key] += g.Count
+			sol.SavedUnits += g.Count
+			sol.SavedTime += g.FwdTime * float64(g.Count)
+			continue
+		}
+		opt = append(opt, g)
+	}
+	if len(opt) == 0 || remaining == 0 {
+		return sol
+	}
+
+	// Round sizes up conservatively, then shrink by the GCD (§5.3).
+	scaled := make([]int64, len(opt))
+	g := int64(0)
+	var roundedTotal int64
+	for i, grp := range opt {
+		scaled[i] = roundUp(grp.Bytes, quantum)
+		roundedTotal += scaled[i] * int64(grp.Count)
+		g = gcd64(g, scaled[i])
+	}
+	// Everything fits: no search needed (also keeps the DP table bounded
+	// for effectively unlimited budgets).
+	if roundedTotal <= remaining {
+		for _, grp := range opt {
+			sol.Saved[grp.Key] += grp.Count
+			sol.SavedUnits += grp.Count
+			sol.SavedTime += grp.FwdTime * float64(grp.Count)
+			sol.SavedBytes += grp.Bytes * int64(grp.Count)
+		}
+		return sol
+	}
+	// Budget beyond the total rounded footprint is unusable.
+	if remaining > roundedTotal {
+		remaining = roundedTotal
+	}
+	if opts.DisableGCD {
+		g = 1
+		if !opts.Exact {
+			g = quantum
+		}
+	}
+	w := remaining / g
+	if w <= 0 {
+		return sol
+	}
+	for i := range scaled {
+		scaled[i] /= g
+	}
+
+	// Binary-split bounded groups into 0/1 pseudo-items.
+	type item struct {
+		group  int
+		copies int
+		weight int64
+		value  float64
+	}
+	var items []item
+	for i, grp := range opt {
+		c := grp.Count
+		for k := 1; c > 0; k *= 2 {
+			take := k
+			if take > c {
+				take = c
+			}
+			items = append(items, item{
+				group:  i,
+				copies: take,
+				weight: scaled[i] * int64(take),
+				value:  grp.FwdTime * float64(take),
+			})
+			c -= take
+		}
+	}
+
+	// 0/1 knapsack with choice tracking.
+	dp := make([]float64, w+1)
+	taken := make([][]bool, len(items))
+	for i, it := range items {
+		taken[i] = make([]bool, w+1)
+		if it.weight > w {
+			continue
+		}
+		for c := w; c >= it.weight; c-- {
+			if v := dp[c-it.weight] + it.value; v > dp[c] {
+				dp[c] = v
+				taken[i][c] = true
+			}
+		}
+	}
+
+	// Reconstruct.
+	bestCap := int64(0)
+	best := dp[0]
+	for c := int64(1); c <= w; c++ {
+		if dp[c] > best {
+			best = dp[c]
+			bestCap = c
+		}
+	}
+	counts := make([]int, len(opt))
+	for i := len(items) - 1; i >= 0; i-- {
+		if taken[i][bestCap] {
+			counts[items[i].group] += items[i].copies
+			bestCap -= items[i].weight
+		}
+	}
+	for i, grp := range opt {
+		if counts[i] == 0 {
+			continue
+		}
+		sol.Saved[grp.Key] += counts[i]
+		sol.SavedUnits += counts[i]
+		sol.SavedTime += grp.FwdTime * float64(counts[i])
+		sol.SavedBytes += grp.Bytes * int64(counts[i])
+	}
+	return sol
+}
+
+// BruteForce solves the same problem by exhaustive enumeration over per-copy
+// decisions. It is exponential and exists as the test oracle. Sizes are not
+// rounded (exact bytes).
+func BruteForce(groups []Group, capacity int64) Solution {
+	sol := Solution{Saved: make(map[string]int, len(groups))}
+	remaining := capacity
+	var opt []Group
+	for _, g := range groups {
+		sol.TotalUnits += g.Count
+		if g.AlwaysSaved {
+			remaining -= g.Bytes * int64(g.Count)
+			sol.Saved[g.Key] = g.Count
+			sol.SavedUnits += g.Count
+			sol.SavedBytes += g.Bytes * int64(g.Count)
+			continue
+		}
+		for i := 0; i < g.Count; i++ {
+			opt = append(opt, Group{Key: g.Key, FwdTime: g.FwdTime, Bytes: g.Bytes, Count: 1})
+		}
+	}
+	if remaining < 0 {
+		return Solution{Saved: sol.Saved, TotalUnits: sol.TotalUnits}
+	}
+	sol.Feasible = true
+	if len(opt) > 24 {
+		panic(fmt.Sprintf("recompute: BruteForce limited to 24 optional copies, got %d", len(opt)))
+	}
+	bestMask, bestVal := 0, -1.0
+	for mask := 0; mask < 1<<len(opt); mask++ {
+		var bytes int64
+		var val float64
+		for i, g := range opt {
+			if mask&(1<<i) != 0 {
+				bytes += g.Bytes
+				val += g.FwdTime
+			}
+		}
+		if bytes <= remaining && val > bestVal {
+			bestVal = val
+			bestMask = mask
+		}
+	}
+	for i, g := range opt {
+		if bestMask&(1<<i) != 0 {
+			sol.Saved[g.Key]++
+			sol.SavedUnits++
+			sol.SavedTime += g.FwdTime
+			sol.SavedBytes += g.Bytes
+		}
+	}
+	return sol
+}
+
+// TotalOptionalTime returns Σ Time_f over all optional copies — the maximum
+// possible SavedTime.
+func TotalOptionalTime(groups []Group) float64 {
+	var t float64
+	for _, g := range groups {
+		if !g.AlwaysSaved {
+			t += g.FwdTime * float64(g.Count)
+		}
+	}
+	return t
+}
+
+// SortGroups orders groups deterministically by key (for stable output).
+func SortGroups(groups []Group) {
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+}
+
+func roundUp(v, q int64) int64 {
+	if q <= 1 {
+		return v
+	}
+	return (v + q - 1) / q * q
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

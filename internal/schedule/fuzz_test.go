@@ -1,0 +1,35 @@
+package schedule
+
+import "testing"
+
+// FuzzBuilders checks that every schedule builder either rejects its inputs
+// or produces a structurally valid schedule, for arbitrary (p, n).
+func FuzzBuilders(f *testing.F) {
+	f.Add(uint8(4), uint8(16))
+	f.Add(uint8(1), uint8(1))
+	f.Add(uint8(8), uint8(64))
+	f.Fuzz(func(t *testing.T, pp, nn uint8) {
+		p := int(pp%12) + 1
+		n := int(nn%48) + 1
+		for _, mk := range []struct {
+			name string
+			fn   func(int, int) (*Schedule, error)
+		}{
+			{"1F1B", OneFOneB},
+			{"GPipe", GPipe},
+			{"Chimera", Chimera},
+			{"ChimeraD", ChimeraD},
+		} {
+			s, err := mk.fn(p, n)
+			if err != nil {
+				continue // constraint rejection is fine
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s(%d,%d): %v", mk.name, p, n, err)
+			}
+			if s.Devices() != p {
+				t.Fatalf("%s(%d,%d): %d devices", mk.name, p, n, s.Devices())
+			}
+		}
+	})
+}

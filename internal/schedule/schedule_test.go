@@ -1,0 +1,325 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildersValidate(t *testing.T) {
+	for p := 2; p <= 8; p += 2 {
+		for _, n := range []int{2 * p, 4 * p} {
+			for _, mk := range []struct {
+				name string
+				f    func(int, int) (*Schedule, error)
+			}{
+				{"1F1B", OneFOneB}, {"GPipe", GPipe}, {"Chimera", Chimera}, {"ChimeraD", ChimeraD},
+			} {
+				s, err := mk.f(p, n)
+				if err != nil {
+					t.Fatalf("%s(%d,%d): %v", mk.name, p, n, err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Errorf("%s(%d,%d): %v", mk.name, p, n, err)
+				}
+				if s.Devices() != p {
+					t.Errorf("%s(%d,%d): %d devices", mk.name, p, n, s.Devices())
+				}
+			}
+		}
+	}
+}
+
+func TestOneFOneBOpCounts(t *testing.T) {
+	const p, n = 4, 10
+	s, err := OneFOneB(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < p; d++ {
+		if got := len(s.Ops[d]); got != 2*n {
+			t.Errorf("device %d has %d ops, want %d", d, got, 2*n)
+		}
+	}
+}
+
+func TestOneFOneBWarmupCounts(t *testing.T) {
+	const p, n = 4, 10
+	s, _ := OneFOneB(p, n)
+	for d := 0; d < p; d++ {
+		// Count forwards before the first backward: must be p−d (§2.1
+		// says stage s holds p−s micro-batches; the (p−d−1) warmup
+		// forwards plus the steady phase's leading forward).
+		count := 0
+		for _, op := range s.Ops[d] {
+			if op.Kind == Backward {
+				break
+			}
+			count++
+		}
+		if count != p-d {
+			t.Errorf("stage %d runs %d forwards before its first backward, want %d", d, count, p-d)
+		}
+	}
+}
+
+// maxInFlight returns, per device, the maximum number of micro-batches with
+// a completed forward whose backward has not yet run, per the op order.
+func maxInFlight(ops []Op) int {
+	live, peak := 0, 0
+	for _, op := range ops {
+		if op.Kind == Forward {
+			live += len(op.Micros)
+			if live > peak {
+				peak = live
+			}
+		} else {
+			live -= len(op.Micros)
+		}
+	}
+	return peak
+}
+
+func TestOneFOneBInFlightBound(t *testing.T) {
+	const p, n = 6, 18
+	s, _ := OneFOneB(p, n)
+	for d := 0; d < p; d++ {
+		if got := maxInFlight(s.Ops[d]); got != p-d {
+			t.Errorf("stage %d in-flight = %d, want %d", d, got, p-d)
+		}
+	}
+}
+
+func TestGPipeInFlightIsN(t *testing.T) {
+	const p, n = 4, 12
+	s, _ := GPipe(p, n)
+	for d := 0; d < p; d++ {
+		if got := maxInFlight(s.Ops[d]); got != n {
+			t.Errorf("stage %d in-flight = %d, want %d (GPipe holds everything)", d, got, n)
+		}
+	}
+}
+
+func TestGPipeBackwardReversed(t *testing.T) {
+	s, _ := GPipe(3, 5)
+	ops := s.Ops[0]
+	lastF := -1
+	for i, op := range ops {
+		if op.Kind == Forward {
+			lastF = i
+		}
+	}
+	prev := 1 << 30
+	for _, op := range ops[lastF+1:] {
+		if op.Micros[0] >= prev {
+			t.Fatal("GPipe backwards not in reverse micro order")
+		}
+		prev = op.Micros[0]
+	}
+}
+
+func TestChimeraSplitsPipelines(t *testing.T) {
+	const p, n = 4, 8
+	s, err := Chimera(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Bidirectional {
+		t.Error("Chimera not marked bidirectional")
+	}
+	// Each device hosts exactly two logical stages: d (down) and p−1−d (up).
+	for d := 0; d < p; d++ {
+		stages := map[[2]int]bool{}
+		for _, op := range s.Ops[d] {
+			stages[[2]int{op.Pipeline, op.Stage}] = true
+		}
+		if len(stages) != 2 {
+			t.Errorf("device %d hosts %d (pipeline,stage) pairs, want 2", d, len(stages))
+		}
+		if !stages[[2]int{0, d}] || !stages[[2]int{1, p - 1 - d}] {
+			t.Errorf("device %d hosts %v", d, stages)
+		}
+	}
+}
+
+func TestChimeraKeysRespectDependencies(t *testing.T) {
+	// Per-device in-order execution requires every op's dependency to be
+	// scheduled earlier in a globally consistent priority. Verify the
+	// cross-device invariant directly: a forward at stage s appears in its
+	// device list before the forward of the same micro at stage s+1
+	// appears in *its* device list position-wise is not meaningful, but
+	// per-device ordering of same-micro ops must respect F-before-B.
+	s, _ := Chimera(4, 8)
+	for d := range s.Ops {
+		seenB := map[[3]int]bool{}
+		for _, op := range s.Ops[d] {
+			for _, m := range op.Micros {
+				key := [3]int{op.Pipeline, op.Stage, m}
+				if op.Kind == Forward && seenB[key] {
+					t.Fatalf("device %d: forward after backward for %v", d, key)
+				}
+				if op.Kind == Backward {
+					seenB[key] = true
+				}
+			}
+		}
+	}
+}
+
+func TestChimeraDDoublesForwards(t *testing.T) {
+	const p, n = 4, 16
+	s, err := ChimeraD(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range s.Ops {
+		var fwd, bwd int
+		for _, op := range s.Ops[d] {
+			switch op.Kind {
+			case Forward:
+				if len(op.Micros) != 2 {
+					t.Fatalf("forward op carries %d micros, want 2", len(op.Micros))
+				}
+				if op.Micros[1] != op.Micros[0]+1 {
+					t.Fatalf("forward pair %v not adjacent", op.Micros)
+				}
+				fwd++
+			case Backward:
+				if len(op.Micros) != 1 {
+					t.Fatalf("backward op carries %d micros, want 1", len(op.Micros))
+				}
+				bwd++
+			}
+		}
+		if fwd != n/2 || bwd != n {
+			t.Errorf("device %d: %d doubled forwards and %d backwards, want %d and %d", d, fwd, bwd, n/2, n)
+		}
+	}
+}
+
+func TestChimeraConstraints(t *testing.T) {
+	if _, err := Chimera(3, 6); err == nil {
+		t.Error("odd stage count accepted")
+	}
+	if _, err := Chimera(4, 6); err == nil {
+		t.Error("non-divisible micro count accepted")
+	}
+	if _, err := ChimeraD(4, 12); err == nil {
+		t.Error("ChimeraD with n not divisible by 2p accepted")
+	}
+}
+
+func TestInterleaved(t *testing.T) {
+	s, err := Interleaved(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stages != 4 {
+		t.Errorf("interleaved logical stages = %d, want 4", s.Stages)
+	}
+	if s.Devices() != 2 {
+		t.Errorf("interleaved devices = %d, want 2", s.Devices())
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	// v=1 degenerates to plain 1F1B.
+	s1, err := Interleaved(3, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Name != "1F1B" {
+		t.Errorf("v=1 name = %q", s1.Name)
+	}
+	if _, err := Interleaved(2, 5, 2); err == nil {
+		t.Error("non-divisible interleaved accepted")
+	}
+	if _, err := Interleaved(2, 4, 0); err == nil {
+		t.Error("zero chunks accepted")
+	}
+}
+
+func TestDeviceForStage(t *testing.T) {
+	s, _ := Chimera(4, 4)
+	if got := s.DeviceForStage(1, 0); got != 1 {
+		t.Errorf("down stage 1 on device %d", got)
+	}
+	if got := s.DeviceForStage(1, 1); got != 2 {
+		t.Errorf("up stage 1 on device %d, want 2", got)
+	}
+	i, _ := Interleaved(2, 4, 2)
+	if got := i.DeviceForStage(3, 0); got != 1 {
+		t.Errorf("interleaved stage 3 on device %d, want 1", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s, _ := OneFOneB(2, 2)
+	s.Ops[0] = append(s.Ops[0], Op{Kind: Forward, Micros: []int{0}, Stage: 0})
+	if err := s.Validate(); err == nil {
+		t.Error("duplicate forward not caught")
+	}
+	s2, _ := OneFOneB(2, 2)
+	// Remove a backward.
+	ops := s2.Ops[1]
+	for i, op := range ops {
+		if op.Kind == Backward {
+			s2.Ops[1] = append(ops[:i], ops[i+1:]...)
+			break
+		}
+	}
+	if err := s2.Validate(); err == nil {
+		t.Error("missing backward not caught")
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	for _, mk := range []func(int, int) (*Schedule, error){OneFOneB, GPipe} {
+		if _, err := mk(0, 4); err == nil {
+			t.Error("zero stages accepted")
+		}
+		if _, err := mk(4, 0); err == nil {
+			t.Error("zero micros accepted")
+		}
+	}
+}
+
+func TestOneFOneBProperty(t *testing.T) {
+	f := func(pp, nn uint8) bool {
+		p := int(pp%8) + 1
+		n := p + int(nn%12)
+		s, err := OneFOneB(p, n)
+		if err != nil {
+			return false
+		}
+		if s.Validate() != nil {
+			return false
+		}
+		for d := 0; d < p; d++ {
+			if maxInFlight(s.Ops[d]) != min(p-d, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := Op{Kind: Forward, Micros: []int{3}, Stage: 2}
+	if got := op.String(); got != "F[3]@2" {
+		t.Errorf("String = %q", got)
+	}
+	up := Op{Kind: Backward, Micros: []int{1}, Stage: 0, Pipeline: 1}
+	if got := up.String(); got != "B[1]@0^" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

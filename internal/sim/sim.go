@@ -1,0 +1,410 @@
+// Package sim is a discrete-event simulator for pipeline-parallel training
+// iterations. It substitutes for the paper's real clusters: a schedule from
+// the schedule package is executed against per-stage forward/backward costs
+// with point-to-point communication delays and per-device memory tracking,
+// yielding the quantities the evaluation measures — iteration time, per-stage
+// peak memory (Figure 8), micro-step times (Figure 9) and bubble time.
+//
+// Executing the schedule, rather than evaluating the planner's closed-form
+// cost model, keeps the evaluation non-circular: AdaPipe's predicted win has
+// to re-emerge from dependency-driven execution.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adapipe/internal/schedule"
+)
+
+// StageCost carries the execution costs of one logical pipeline stage.
+type StageCost struct {
+	// Fwd is the forward time of one micro-batch in seconds.
+	Fwd float64
+	// Bwd is the backward time of one micro-batch in seconds, including
+	// any recomputation the stage's strategy performs.
+	Bwd float64
+	// CommFwd is the time to send the stage's forward boundary activation
+	// to the next stage.
+	CommFwd float64
+	// CommBwd is the time to send the gradient back to the previous stage.
+	CommBwd float64
+	// SavedPerMicro is the activation memory pinned per in-flight
+	// micro-batch in bytes.
+	SavedPerMicro int64
+	// Static is the activation-independent memory in bytes (parameters,
+	// gradients, optimizer states, recomputation buffer).
+	Static int64
+	// StaticSharded is the ZeRO-sharded portion of Static (optimizer
+	// states). Bidirectional schedules replicate a stage's parameters and
+	// gradients on two devices but re-shard optimizer states across the
+	// replicas, so each hosted stage contributes only half of this part.
+	StaticSharded int64
+	// StaticOverhead is the fixed per-device framework overhead included
+	// in Static; it is counted once per device even when a device hosts
+	// two stages (bidirectional schedules).
+	StaticOverhead int64
+}
+
+// Input bundles a simulation request.
+type Input struct {
+	// Sched is the schedule to execute.
+	Sched *schedule.Schedule
+	// Stages holds one StageCost per logical stage (Sched.Stages entries).
+	Stages []StageCost
+	// CaptureTimeline records per-op events for rendering.
+	CaptureTimeline bool
+	// CaptureMemory records per-device live-memory curves (the artifact
+	// appendix logs memory at each forward/backward pass boundary).
+	CaptureMemory bool
+}
+
+// MemPoint is one step of a device's live-memory curve.
+type MemPoint struct {
+	// Time is the instant of the change in seconds.
+	Time float64
+	// Bytes is the total device memory (static + live activations) from
+	// this instant on.
+	Bytes int64
+}
+
+// Event is one executed op on the timeline.
+type Event struct {
+	// Device is the executing device.
+	Device int
+	// Op is the scheduled op.
+	Op schedule.Op
+	// Start and End are the op's execution interval in seconds.
+	Start, End float64
+}
+
+// Result is the outcome of a simulated iteration.
+type Result struct {
+	// IterTime is the makespan in seconds.
+	IterTime float64
+	// PeakMem is the per-device peak memory in bytes (static + live
+	// activations; bidirectional schedules double the static part).
+	PeakMem []int64
+	// Busy is the per-device compute-busy time.
+	Busy []float64
+	// Bubble is the per-device idle (bubble) time, IterTime − Busy.
+	Bubble []float64
+	// MicroStep is the per-stage forward+backward time of one micro-batch
+	// (Figure 9's metric).
+	MicroStep []float64
+	// Timeline holds the executed ops when capture was requested.
+	Timeline []Event
+	// MemTimeline holds per-device memory curves when capture was
+	// requested.
+	MemTimeline [][]MemPoint
+}
+
+// MaxPeakMem returns the largest per-device peak.
+func (r Result) MaxPeakMem() int64 {
+	var m int64
+	for _, v := range r.PeakMem {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// BubbleRatio returns total bubble time divided by total device time.
+func (r Result) BubbleRatio() float64 {
+	if r.IterTime <= 0 || len(r.Bubble) == 0 {
+		return 0
+	}
+	var b float64
+	for _, v := range r.Bubble {
+		b += v
+	}
+	return b / (r.IterTime * float64(len(r.Bubble)))
+}
+
+type opState struct {
+	op        schedule.Op
+	device    int
+	listIndex int
+	done      bool
+	start     float64
+	end       float64
+}
+
+// Run executes the schedule. It returns an error for malformed inputs or a
+// deadlocked schedule (an in-order op sequence whose dependencies can never
+// be met).
+func Run(in Input) (Result, error) {
+	sched := in.Sched
+	if sched == nil {
+		return Result{}, fmt.Errorf("sim: nil schedule")
+	}
+	if len(in.Stages) != sched.Stages {
+		return Result{}, fmt.Errorf("sim: schedule %q has %d stages, got %d stage costs",
+			sched.Name, sched.Stages, len(in.Stages))
+	}
+	if err := sched.Validate(); err != nil {
+		return Result{}, err
+	}
+	devices := sched.Devices()
+
+	// Per-device op state.
+	states := make([][]opState, devices)
+	total := 0
+	for d := 0; d < devices; d++ {
+		states[d] = make([]opState, len(sched.Ops[d]))
+		for i, op := range sched.Ops[d] {
+			states[d][i] = opState{op: op, device: d, listIndex: i}
+		}
+		total += len(sched.Ops[d])
+	}
+
+	// Completion times indexed by [pipeline][stage][micro]; NaN = not done.
+	newTimes := func() [][][]float64 {
+		t := make([][][]float64, 2)
+		for pipe := 0; pipe < 2; pipe++ {
+			t[pipe] = make([][]float64, sched.Stages)
+			for s := 0; s < sched.Stages; s++ {
+				row := make([]float64, sched.Micros)
+				for m := range row {
+					row[m] = math.NaN()
+				}
+				t[pipe][s] = row
+			}
+		}
+		return t
+	}
+	fwdEnd := newTimes()
+	bwdEnd := newTimes()
+	has := func(kind schedule.Kind, pipe, stage, m int) (float64, bool) {
+		var v float64
+		if kind == schedule.Forward {
+			v = fwdEnd[pipe][stage][m]
+		} else {
+			v = bwdEnd[pipe][stage][m]
+		}
+		return v, !math.IsNaN(v)
+	}
+
+	// readyStart returns the earliest start of an op, or ok=false when a
+	// dependency has not been scheduled yet.
+	readyStart := func(st *opState, clock float64) (float64, bool) {
+		start := clock
+		lastStage := sched.Stages - 1
+		for _, m := range st.op.Micros {
+			switch st.op.Kind {
+			case schedule.Forward:
+				if st.op.Stage > 0 {
+					end, ok := has(schedule.Forward, st.op.Pipeline, st.op.Stage-1, m)
+					if !ok {
+						return 0, false
+					}
+					arrive := end + in.Stages[st.op.Stage-1].CommFwd
+					if arrive > start {
+						start = arrive
+					}
+				}
+			case schedule.Backward:
+				end, ok := has(schedule.Forward, st.op.Pipeline, st.op.Stage, m)
+				if !ok {
+					return 0, false
+				}
+				if end > start {
+					start = end
+				}
+				if st.op.Stage < lastStage {
+					bend, ok := has(schedule.Backward, st.op.Pipeline, st.op.Stage+1, m)
+					if !ok {
+						return 0, false
+					}
+					arrive := bend + in.Stages[st.op.Stage+1].CommBwd
+					if arrive > start {
+						start = arrive
+					}
+				}
+			}
+		}
+		return start, true
+	}
+
+	duration := func(op schedule.Op) float64 {
+		c := in.Stages[op.Stage]
+		if op.Kind == schedule.Forward {
+			return c.Fwd * float64(len(op.Micros))
+		}
+		return c.Bwd * float64(len(op.Micros))
+	}
+
+	clock := make([]float64, devices)
+	nextIdx := make([]int, devices) // for in-order mode
+	executed := 0
+	var timeline []Event
+
+	for executed < total {
+		bestDev, bestIdx := -1, -1
+		bestStart := math.Inf(1)
+		for d := 0; d < devices; d++ {
+			if sched.InOrder {
+				i := nextIdx[d]
+				if i >= len(states[d]) {
+					continue
+				}
+				if start, ok := readyStart(&states[d][i], clock[d]); ok && start < bestStart {
+					bestStart, bestDev, bestIdx = start, d, i
+				}
+				continue
+			}
+			// Greedy: first ready op in priority order with the
+			// earliest start wins for this device.
+			devBest := math.Inf(1)
+			devIdx := -1
+			for i := range states[d] {
+				st := &states[d][i]
+				if st.done {
+					continue
+				}
+				if start, ok := readyStart(st, clock[d]); ok && start < devBest {
+					devBest, devIdx = start, i
+				}
+			}
+			if devIdx >= 0 && devBest < bestStart {
+				bestStart, bestDev, bestIdx = devBest, d, devIdx
+			}
+		}
+		if bestDev < 0 {
+			return Result{}, fmt.Errorf("sim: schedule %q deadlocked after %d of %d ops", sched.Name, executed, total)
+		}
+		st := &states[bestDev][bestIdx]
+		st.start = bestStart
+		st.end = bestStart + duration(st.op)
+		st.done = true
+		clock[bestDev] = st.end
+		if sched.InOrder {
+			nextIdx[bestDev]++
+		}
+		for _, m := range st.op.Micros {
+			if st.op.Kind == schedule.Forward {
+				fwdEnd[st.op.Pipeline][st.op.Stage][m] = st.end
+			} else {
+				bwdEnd[st.op.Pipeline][st.op.Stage][m] = st.end
+			}
+		}
+		executed++
+		if in.CaptureTimeline {
+			timeline = append(timeline, Event{Device: bestDev, Op: st.op, Start: st.start, End: st.end})
+		}
+	}
+
+	res := Result{
+		PeakMem:   make([]int64, devices),
+		Busy:      make([]float64, devices),
+		Bubble:    make([]float64, devices),
+		MicroStep: make([]float64, sched.Stages),
+		Timeline:  timeline,
+	}
+	for s := range res.MicroStep {
+		res.MicroStep[s] = in.Stages[s].Fwd + in.Stages[s].Bwd
+	}
+	for d := 0; d < devices; d++ {
+		for i := range states[d] {
+			st := &states[d][i]
+			if st.end > res.IterTime {
+				res.IterTime = st.end
+			}
+			res.Busy[d] += st.end - st.start
+		}
+	}
+	for d := 0; d < devices; d++ {
+		res.Bubble[d] = res.IterTime - res.Busy[d]
+	}
+	res.PeakMem, res.MemTimeline = peakMemory(sched, in.Stages, states, in.CaptureMemory)
+	if in.CaptureTimeline {
+		sort.Slice(res.Timeline, func(i, j int) bool {
+			if res.Timeline[i].Start != res.Timeline[j].Start {
+				return res.Timeline[i].Start < res.Timeline[j].Start
+			}
+			return res.Timeline[i].Device < res.Timeline[j].Device
+		})
+	}
+	return res, nil
+}
+
+// peakMemory computes per-device peaks: static memory of the hosted stages
+// (both pipelines for bidirectional schedules) plus the high-water mark of
+// live activations, where a micro-batch's activations are pinned from the end
+// of its forward to the end of its backward at that stage.
+func peakMemory(sched *schedule.Schedule, stages []StageCost, states [][]opState, capture bool) ([]int64, [][]MemPoint) {
+	devices := sched.Devices()
+	type point struct {
+		t     float64
+		delta int64
+	}
+	points := make([][]point, devices)
+	static := make([]int64, devices)
+	seen := make([][]bool, devices)
+	seenAny := make([]bool, devices)
+	for d := 0; d < devices; d++ {
+		seen[d] = make([]bool, sched.Stages+1)
+	}
+	for d := 0; d < devices; d++ {
+		for i := range states[d] {
+			st := &states[d][i]
+			per := stages[st.op.Stage].SavedPerMicro * int64(len(st.op.Micros))
+			if st.op.Kind == schedule.Forward {
+				points[d] = append(points[d], point{st.end, per})
+			} else {
+				points[d] = append(points[d], point{st.end, -stages[st.op.Stage].SavedPerMicro * int64(len(st.op.Micros))})
+			}
+			if !seen[d][st.op.Stage] {
+				seen[d][st.op.Stage] = true
+				c := stages[st.op.Stage]
+				add := c.Static
+				if sched.Bidirectional {
+					// Optimizer states re-shard across the two
+					// pipeline replicas.
+					add -= c.StaticSharded / 2
+				}
+				// Framework overhead is per device, not per hosted
+				// stage (bidirectional and interleaved schedules
+				// host several stages per device).
+				if seenAny[d] {
+					add -= c.StaticOverhead
+				}
+				seenAny[d] = true
+				static[d] += add
+			}
+		}
+	}
+	peaks := make([]int64, devices)
+	var curves [][]MemPoint
+	if capture {
+		curves = make([][]MemPoint, devices)
+	}
+	for d := 0; d < devices; d++ {
+		sort.Slice(points[d], func(i, j int) bool {
+			if points[d][i].t != points[d][j].t {
+				return points[d][i].t < points[d][j].t
+			}
+			// Releases before acquisitions at identical instants: the
+			// backward that frees memory completes before the next
+			// forward's allocation lands.
+			return points[d][i].delta < points[d][j].delta
+		})
+		var live, peak int64
+		if capture {
+			curves[d] = append(curves[d], MemPoint{Time: 0, Bytes: static[d]})
+		}
+		for _, pt := range points[d] {
+			live += pt.delta
+			if live > peak {
+				peak = live
+			}
+			if capture {
+				curves[d] = append(curves[d], MemPoint{Time: pt.t, Bytes: static[d] + live})
+			}
+		}
+		peaks[d] = static[d] + peak
+	}
+	return peaks, curves
+}

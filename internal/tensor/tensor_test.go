@@ -1,0 +1,220 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *RNG, r, c int) *Mat { return RandNorm(rng, r, c, 1) }
+
+// transpose is a reference helper for the fused-transpose matmuls.
+func transpose(m *Mat) *Mat {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+func matsClose(a, b *Mat, tol float64) bool {
+	return a.SameShape(b) && MaxAbsDiff(a, b) <= tol
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := NewRNG(1)
+	a := randMat(rng, 4, 6)
+	id := New(6, 6)
+	for i := 0; i < 6; i++ {
+		id.Set(i, i, 1)
+	}
+	if !matsClose(MatMul(a, id), a, 0) {
+		t.Error("A·I != A")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	want := FromSlice(2, 2, []float64{19, 22, 43, 50})
+	if !matsClose(MatMul(a, b), want, 0) {
+		t.Errorf("matmul = %v", MatMul(a, b).Data)
+	}
+}
+
+func TestFusedTransposeVariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed | 1)
+		a := randMat(rng, 3, 5)
+		b := randMat(rng, 4, 5)
+		c := randMat(rng, 3, 7)
+		// A·Bᵀ == A·(Bᵀ)
+		if !matsClose(MatMulT(a, b), MatMul(a, transpose(b)), 1e-12) {
+			return false
+		}
+		// Aᵀ·C == (Aᵀ)·C
+		return matsClose(TMatMul(a, c), MatMul(transpose(a), c), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	rng := NewRNG(2)
+	a := randMat(rng, 3, 3)
+	b := randMat(rng, 3, 3)
+	sum := Add(a, b)
+	for i := range sum.Data {
+		if sum.Data[i] != a.Data[i]+b.Data[i] {
+			t.Fatal("add mismatch")
+		}
+	}
+	s := Scale(a, 2.5)
+	for i := range s.Data {
+		if s.Data[i] != 2.5*a.Data[i] {
+			t.Fatal("scale mismatch")
+		}
+	}
+	c := a.Clone()
+	AddInPlace(c, b)
+	if !matsClose(c, sum, 0) {
+		t.Fatal("AddInPlace mismatch")
+	}
+	m := Mul(a, b)
+	for i := range m.Data {
+		if m.Data[i] != a.Data[i]*b.Data[i] {
+			t.Fatal("mul mismatch")
+		}
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 1000, 1000, 1000})
+	p := SoftmaxRows(a)
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for j := 0; j < 3; j++ {
+			v := p.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %g out of range", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+	if p.At(0, 2) <= p.At(0, 0) {
+		t.Error("softmax must be monotone in the logits")
+	}
+	// Fully masked rows are zero, not NaN.
+	masked := FromSlice(1, 2, []float64{math.Inf(-1), math.Inf(-1)})
+	pm := SoftmaxRows(masked)
+	if pm.At(0, 0) != 0 || pm.At(0, 1) != 0 {
+		t.Errorf("masked row = %v", pm.Data)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Error("zero seed not remapped")
+	}
+}
+
+func TestRNGDistributions(t *testing.T) {
+	rng := NewRNG(7)
+	var sum, sumSq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := rng.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %g", variance)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := rng.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		if v := rng.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestAccessorsAndHelpers(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Error("Set/At")
+	}
+	if m.Bytes() != 48 {
+		t.Errorf("Bytes = %d", m.Bytes())
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone aliases the original")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Error("Zero")
+	}
+	if Frobenius(FromSlice(1, 2, []float64{3, 4})) != 5 {
+		t.Error("Frobenius")
+	}
+	if MaxAbsDiff(FromSlice(1, 2, []float64{1, 5}), FromSlice(1, 2, []float64{2, 3})) != 2 {
+		t.Error("MaxAbsDiff")
+	}
+}
+
+func TestPanicsOnShapeErrors(t *testing.T) {
+	checkPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	a := New(2, 3)
+	b := New(2, 3)
+	checkPanics("matmul", func() { MatMul(a, b) })
+	checkPanics("matmulT bad", func() { MatMulT(a, New(4, 5)) })
+	checkPanics("TmatMul bad", func() { TMatMul(a, New(3, 3)) })
+	checkPanics("add", func() { Add(a, New(3, 2)) })
+	checkPanics("fromSlice", func() { FromSlice(2, 2, []float64{1}) })
+	checkPanics("negative dims", func() { New(-1, 2) })
+	checkPanics("intn zero", func() { NewRNG(1).Intn(0) })
+}
+
+func TestMatMulAssociativityWithVector(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed | 1)
+		a := randMat(rng, 3, 4)
+		b := randMat(rng, 4, 5)
+		x := randMat(rng, 5, 1)
+		left := MatMul(MatMul(a, b), x)
+		right := MatMul(a, MatMul(b, x))
+		return matsClose(left, right, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,276 @@
+package train
+
+import (
+	"adapipe/internal/model"
+	"adapipe/internal/tensor"
+)
+
+// SaveSpec selects which computation units of a sub-layer keep their
+// activations after the forward pass. Units left false are recomputed from
+// the layer's input boundary right before the backward pass — the exact
+// mechanism of §4.1. The final GEMM output of each sub-layer (the boundary
+// tensor) is always saved, mirroring the planner's AlwaysSaved restriction.
+type SaveSpec map[model.UnitKind]bool
+
+// SaveAll returns a spec saving every unit (no recomputation).
+func SaveAll() SaveSpec {
+	return SaveSpec{
+		model.UnitLayerNorm: true, model.UnitQProj: true, model.UnitKProj: true,
+		model.UnitVProj: true, model.UnitCoreAttention: true,
+		model.UnitFFNUp: true, model.UnitFFNAct: true,
+	}
+}
+
+// SaveNone returns a spec recomputing every optional unit (the full-
+// recomputation baseline at unit granularity).
+func SaveNone() SaveSpec { return SaveSpec{} }
+
+// Block is a pipeline-partitionable sub-layer: an Attention or FFN block with
+// pre-LayerNorm and a residual connection.
+type Block interface {
+	// Kind reports the block's layer kind.
+	Kind() model.LayerKind
+	// Forward runs the block, saving activations per spec. The returned
+	// context is passed to Backward.
+	Forward(x *tensor.Mat, save SaveSpec) (*tensor.Mat, BlockCtx)
+	// Backward recomputes dropped activations, accumulates parameter
+	// gradients and returns dx.
+	Backward(ctx BlockCtx, dy *tensor.Mat) *tensor.Mat
+	// Params returns the trainable parameters.
+	Params() []*Param
+}
+
+// BlockCtx is the saved state of one forward pass of one micro-batch.
+type BlockCtx interface {
+	// SavedBytes reports the activation memory the context pins, used by
+	// the engine's live-memory accounting tests.
+	SavedBytes() int64
+}
+
+// AttnBlock is a causal self-attention sub-layer:
+// y = x + Out(core(Q(ln), K(ln), V(ln))).
+type AttnBlock struct {
+	LN    *LayerNorm
+	Q     *Linear
+	K     *Linear
+	V     *Linear
+	Out   *Linear
+	Heads int
+}
+
+// NewAttnBlock builds an attention sub-layer with the given width.
+func NewAttnBlock(name string, dim, heads int, rng *tensor.RNG) *AttnBlock {
+	std := 0.02
+	return &AttnBlock{
+		LN:    NewLayerNorm(name+".ln", dim),
+		Q:     NewLinear(name+".q", dim, dim, std, rng),
+		K:     NewLinear(name+".k", dim, dim, std, rng),
+		V:     NewLinear(name+".v", dim, dim, std, rng),
+		Out:   NewLinear(name+".out", dim, dim, std, rng),
+		Heads: heads,
+	}
+}
+
+// Kind returns model.Attention.
+func (b *AttnBlock) Kind() model.LayerKind { return model.Attention }
+
+// Params returns all trainable parameters of the block.
+func (b *AttnBlock) Params() []*Param {
+	var ps []*Param
+	for _, u := range []interface{ Params() []*Param }{b.LN, b.Q, b.K, b.V, b.Out} {
+		ps = append(ps, u.Params()...)
+	}
+	return ps
+}
+
+type attnCtx struct {
+	x    *tensor.Mat // input boundary, always kept
+	ln   *tensor.Mat
+	lnSt *lnCtx
+	q    *tensor.Mat
+	k    *tensor.Mat
+	v    *tensor.Mat
+	att  *tensor.Mat
+	core *coreCtx
+}
+
+// SavedBytes sums the pinned activation payloads.
+func (c *attnCtx) SavedBytes() int64 {
+	var n int64
+	for _, m := range []*tensor.Mat{c.x, c.ln, c.q, c.k, c.v, c.att} {
+		if m != nil {
+			n += m.Bytes()
+		}
+	}
+	if c.lnSt != nil {
+		n += c.lnSt.xhat.Bytes() + int64(len(c.lnSt.rstd))*8
+	}
+	if c.core != nil {
+		for _, p := range c.core.probs {
+			n += p.Bytes()
+		}
+	}
+	return n
+}
+
+// Forward runs the sub-layer keeping only the units selected by save.
+func (b *AttnBlock) Forward(x *tensor.Mat, save SaveSpec) (*tensor.Mat, BlockCtx) {
+	ctx := &attnCtx{x: x}
+	ln, lnSt := b.LN.Forward(x)
+	q := b.Q.Forward(ln)
+	k := b.K.Forward(ln)
+	v := b.V.Forward(ln)
+	att, core := attentionCore(q, k, v, b.Heads)
+	y := tensor.Add(x, b.Out.Forward(att))
+	if save[model.UnitLayerNorm] {
+		ctx.ln, ctx.lnSt = ln, &lnSt
+	}
+	if save[model.UnitQProj] {
+		ctx.q = q
+	}
+	if save[model.UnitKProj] {
+		ctx.k = k
+	}
+	if save[model.UnitVProj] {
+		ctx.v = v
+	}
+	if save[model.UnitCoreAttention] {
+		ctx.att, ctx.core = att, &core
+	}
+	return y, ctx
+}
+
+// Backward replays any dropped unit from the saved boundary, then runs the
+// gradient computation. The replay executes the identical float operations
+// as the original forward, so gradients are bit-identical to the no-
+// recomputation path.
+func (b *AttnBlock) Backward(bc BlockCtx, dy *tensor.Mat) *tensor.Mat {
+	ctx := bc.(*attnCtx)
+	ln, lnSt := ctx.ln, ctx.lnSt
+	if ln == nil {
+		l, st := b.LN.Forward(ctx.x)
+		ln, lnSt = l, &st
+	}
+	q := ctx.q
+	if q == nil {
+		q = b.Q.Forward(ln)
+	}
+	k := ctx.k
+	if k == nil {
+		k = b.K.Forward(ln)
+	}
+	v := ctx.v
+	if v == nil {
+		v = b.V.Forward(ln)
+	}
+	att, core := ctx.att, ctx.core
+	if att == nil {
+		a, c := attentionCore(q, k, v, b.Heads)
+		att, core = a, &c
+	}
+
+	// y = x + Out(att): residual passes dy through.
+	datt := b.Out.Backward(att, dy)
+	dq, dk, dv := attentionCoreBackward(*core, q, k, v, datt, b.Heads)
+	dln := b.Q.Backward(ln, dq)
+	tensor.AddInPlace(dln, b.K.Backward(ln, dk))
+	tensor.AddInPlace(dln, b.V.Backward(ln, dv))
+	dx := b.LN.Backward(*lnSt, dln)
+	tensor.AddInPlace(dx, dy)
+	return dx
+}
+
+// FFNBlock is a feed-forward sub-layer: y = x + Down(gelu(Up(ln))).
+type FFNBlock struct {
+	LN   *LayerNorm
+	Up   *Linear
+	Down *Linear
+}
+
+// NewFFNBlock builds a feed-forward sub-layer.
+func NewFFNBlock(name string, dim, ffn int, rng *tensor.RNG) *FFNBlock {
+	std := 0.02
+	return &FFNBlock{
+		LN:   NewLayerNorm(name+".ln", dim),
+		Up:   NewLinear(name+".up", dim, ffn, std, rng),
+		Down: NewLinear(name+".down", ffn, dim, std, rng),
+	}
+}
+
+// Kind returns model.FFN.
+func (b *FFNBlock) Kind() model.LayerKind { return model.FFN }
+
+// Params returns all trainable parameters of the block.
+func (b *FFNBlock) Params() []*Param {
+	var ps []*Param
+	for _, u := range []interface{ Params() []*Param }{b.LN, b.Up, b.Down} {
+		ps = append(ps, u.Params()...)
+	}
+	return ps
+}
+
+type ffnCtx struct {
+	x    *tensor.Mat
+	ln   *tensor.Mat
+	lnSt *lnCtx
+	up   *tensor.Mat
+	act  *tensor.Mat
+}
+
+// SavedBytes sums the pinned activation payloads.
+func (c *ffnCtx) SavedBytes() int64 {
+	var n int64
+	for _, m := range []*tensor.Mat{c.x, c.ln, c.up, c.act} {
+		if m != nil {
+			n += m.Bytes()
+		}
+	}
+	if c.lnSt != nil {
+		n += c.lnSt.xhat.Bytes() + int64(len(c.lnSt.rstd))*8
+	}
+	return n
+}
+
+// Forward runs the sub-layer keeping only the units selected by save.
+func (b *FFNBlock) Forward(x *tensor.Mat, save SaveSpec) (*tensor.Mat, BlockCtx) {
+	ctx := &ffnCtx{x: x}
+	ln, lnSt := b.LN.Forward(x)
+	up := b.Up.Forward(ln)
+	act := geluForward(up)
+	y := tensor.Add(x, b.Down.Forward(act))
+	if save[model.UnitLayerNorm] {
+		ctx.ln, ctx.lnSt = ln, &lnSt
+	}
+	if save[model.UnitFFNUp] {
+		ctx.up = up
+	}
+	if save[model.UnitFFNAct] {
+		ctx.act = act
+	}
+	return y, ctx
+}
+
+// Backward replays dropped units and computes gradients.
+func (b *FFNBlock) Backward(bc BlockCtx, dy *tensor.Mat) *tensor.Mat {
+	ctx := bc.(*ffnCtx)
+	ln, lnSt := ctx.ln, ctx.lnSt
+	if ln == nil {
+		l, st := b.LN.Forward(ctx.x)
+		ln, lnSt = l, &st
+	}
+	up := ctx.up
+	if up == nil {
+		up = b.Up.Forward(ln)
+	}
+	act := ctx.act
+	if act == nil {
+		act = geluForward(up)
+	}
+
+	dact := b.Down.Backward(act, dy)
+	dup := geluBackward(up, dact)
+	dln := b.Up.Backward(ln, dup)
+	dx := b.LN.Backward(*lnSt, dln)
+	tensor.AddInPlace(dx, dy)
+	return dx
+}

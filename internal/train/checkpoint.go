@@ -1,0 +1,104 @@
+package train
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"adapipe/internal/tensor"
+)
+
+// checkpointFile is the serialized form of a network's parameters and the
+// per-stage optimizer states, keyed by parameter name so a checkpoint can be
+// restored into a re-partitioned network (the stage layout does not affect
+// which parameters exist).
+type checkpointFile struct {
+	Step   int
+	Params map[string]checkpointTensor
+	AdamM  map[string]checkpointTensor
+	AdamV  map[string]checkpointTensor
+}
+
+type checkpointTensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func toCheckpoint(m *tensor.Mat) checkpointTensor {
+	return checkpointTensor{Rows: m.Rows, Cols: m.Cols, Data: append([]float64(nil), m.Data...)}
+}
+
+func (c checkpointTensor) restoreInto(m *tensor.Mat) error {
+	if m.Rows != c.Rows || m.Cols != c.Cols {
+		return fmt.Errorf("train: checkpoint tensor is %dx%d, target is %dx%d", c.Rows, c.Cols, m.Rows, m.Cols)
+	}
+	copy(m.Data, c.Data)
+	return nil
+}
+
+// SaveCheckpoint serializes the pipeline's parameters and optimizer states.
+// step records how many optimizer steps have been applied (Adam bias
+// correction depends on it).
+func (p *Pipeline) SaveCheckpoint(w io.Writer, step int) error {
+	ck := checkpointFile{
+		Step:   step,
+		Params: map[string]checkpointTensor{},
+		AdamM:  map[string]checkpointTensor{},
+		AdamV:  map[string]checkpointTensor{},
+	}
+	for si, stage := range p.Stages {
+		opt := p.opts[si]
+		for pi, param := range stage.Params() {
+			if _, dup := ck.Params[param.Name]; dup {
+				return fmt.Errorf("train: duplicate parameter name %q", param.Name)
+			}
+			ck.Params[param.Name] = toCheckpoint(param.W)
+			ck.AdamM[param.Name] = toCheckpoint(opt.m[pi])
+			ck.AdamV[param.Name] = toCheckpoint(opt.v[pi])
+		}
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// LoadCheckpoint restores parameters and optimizer states saved by
+// SaveCheckpoint. The pipeline may be partitioned differently from the one
+// that saved the checkpoint; parameters are matched by name and every
+// parameter must be present.
+func (p *Pipeline) LoadCheckpoint(r io.Reader) (step int, err error) {
+	var ck checkpointFile
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return 0, fmt.Errorf("train: decoding checkpoint: %w", err)
+	}
+	for si, stage := range p.Stages {
+		opt := p.opts[si]
+		for pi, param := range stage.Params() {
+			w, ok := ck.Params[param.Name]
+			if !ok {
+				return 0, fmt.Errorf("train: checkpoint missing parameter %q", param.Name)
+			}
+			if err := w.restoreInto(param.W); err != nil {
+				return 0, err
+			}
+			if err := ck.AdamM[param.Name].restoreInto(opt.m[pi]); err != nil {
+				return 0, err
+			}
+			if err := ck.AdamV[param.Name].restoreInto(opt.v[pi]); err != nil {
+				return 0, err
+			}
+			param.G.Zero()
+		}
+		opt.step = ck.Step
+	}
+	return ck.Step, nil
+}
+
+// CheckpointBytes is a convenience wrapper returning the serialized
+// checkpoint as a byte slice.
+func (p *Pipeline) CheckpointBytes(step int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.SaveCheckpoint(&buf, step); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,103 @@
+package train
+
+import (
+	"bytes"
+	"testing"
+
+	"adapipe/internal/tensor"
+)
+
+func buildPipe(t *testing.T, cfg Config, bounds []int) *Pipeline {
+	t.Helper()
+	net, err := NewNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, err := Split(net, bounds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPipeline(stages, 2e-3)
+}
+
+// TestCheckpointResumeIsExact: training 6 steps straight equals training 3,
+// checkpointing, restoring into a fresh pipeline and training 3 more —
+// bit-identical losses.
+func TestCheckpointResumeIsExact(t *testing.T) {
+	cfg := Config{Layers: 2, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: 12, Seed: 31}
+	bounds := []int{0, 3, 6}
+	corpus := NewCorpus(cfg.Vocab, 1<<14, 4)
+
+	// Straight run.
+	straight := buildPipe(t, cfg, bounds)
+	rngA := tensor.NewRNG(8)
+	var straightLosses []float64
+	for step := 0; step < 6; step++ {
+		l, err := straight.Step(corpus.Batches(4, cfg.Seq, rngA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		straightLosses = append(straightLosses, l)
+	}
+
+	// Interrupted run.
+	first := buildPipe(t, cfg, bounds)
+	rngB := tensor.NewRNG(8)
+	for step := 0; step < 3; step++ {
+		if _, err := first.Step(corpus.Batches(4, cfg.Seq, rngB)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := first.CheckpointBytes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a fresh pipeline with a DIFFERENT seed (proving the
+	// checkpoint fully determines the state) and a different partitioning.
+	other := cfg
+	other.Seed = 99
+	resumed := buildPipe(t, other, []int{0, 2, 4, 6})
+	step, err := resumed.LoadCheckpoint(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 3 {
+		t.Fatalf("restored step = %d", step)
+	}
+	for s := 3; s < 6; s++ {
+		l, err := resumed.Step(corpus.Batches(4, cfg.Seq, rngB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l != straightLosses[s] {
+			t.Fatalf("step %d: resumed loss %.17g, straight %.17g", s, l, straightLosses[s])
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	cfg := Config{Layers: 2, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: 12, Seed: 1}
+	src := buildPipe(t, cfg, []int{0, 6})
+	blob, err := src.CheckpointBytes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different architecture: shape mismatch.
+	wide := cfg
+	wide.Dim = 32
+	dst := buildPipe(t, wide, []int{0, 6})
+	if _, err := dst.LoadCheckpoint(bytes.NewReader(blob)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	// More layers: missing parameters.
+	deep := cfg
+	deep.Layers = 3
+	dst2 := buildPipe(t, deep, []int{0, 8})
+	if _, err := dst2.LoadCheckpoint(bytes.NewReader(blob)); err == nil {
+		t.Error("missing parameters accepted")
+	}
+	// Garbage input.
+	if _, err := src.LoadCheckpoint(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+}

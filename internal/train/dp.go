@@ -1,0 +1,168 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"adapipe/internal/tensor"
+)
+
+// DataParallel trains d replicated pipelines with synchronous gradient
+// all-reduce, the DP dimension of the paper's 3D parallelism (§3). Every
+// replica holds an identical copy of the model (same construction seed);
+// each iteration splits the global micro-batches across replicas, sums the
+// replica gradients, and applies identical optimizer updates, so parameters
+// stay bit-identical across replicas.
+type DataParallel struct {
+	// Replicas are the per-replica pipelines.
+	Replicas []*Pipeline
+}
+
+// NewDataParallel wraps d pipelines built by mk (which must construct
+// identically-initialized stages, e.g. from the same Config seed).
+func NewDataParallel(d int, mk func() (*Pipeline, error)) (*DataParallel, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("train: need at least one replica, got %d", d)
+	}
+	dp := &DataParallel{}
+	for r := 0; r < d; r++ {
+		pipe, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		dp.Replicas = append(dp.Replicas, pipe)
+	}
+	// All replicas must agree on the parameter layout.
+	ref := paramsOf(dp.Replicas[0])
+	for r := 1; r < d; r++ {
+		ps := paramsOf(dp.Replicas[r])
+		if len(ps) != len(ref) {
+			return nil, fmt.Errorf("train: replica %d has %d params, replica 0 has %d", r, len(ps), len(ref))
+		}
+		for i := range ps {
+			if !ps[i].W.SameShape(ref[i].W) {
+				return nil, fmt.Errorf("train: replica %d param %s shape mismatch", r, ps[i].Name)
+			}
+		}
+	}
+	return dp, nil
+}
+
+func paramsOf(p *Pipeline) []*Param {
+	var out []*Param
+	for _, s := range p.Stages {
+		out = append(out, s.Params()...)
+	}
+	return out
+}
+
+// Step runs one globally-synchronous iteration: the batches are split evenly
+// across replicas (len(batches) must divide by the replica count), gradients
+// are all-reduced, and every replica applies the same optimizer update. The
+// returned loss is the mean over all micro-batches.
+func (dp *DataParallel) Step(batches []Batch) (float64, error) {
+	d := len(dp.Replicas)
+	if len(batches)%d != 0 {
+		return 0, fmt.Errorf("train: %d micro-batches not divisible by %d replicas", len(batches), d)
+	}
+	per := len(batches) / d
+
+	losses := make([]float64, d)
+	errs := make([]error, d)
+	var wg sync.WaitGroup
+	for r := 0; r < d; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			losses[r], errs[r] = dp.Replicas[r].Accumulate(batches[r*per : (r+1)*per])
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// All-reduce: sum gradients into replica 0's buffers, then broadcast.
+	replicaParams := make([][]*Param, d)
+	for r := 0; r < d; r++ {
+		replicaParams[r] = paramsOf(dp.Replicas[r])
+	}
+	for i := range replicaParams[0] {
+		g0 := replicaParams[0][i].G
+		for r := 1; r < d; r++ {
+			for j := range g0.Data {
+				g0.Data[j] += replicaParams[r][i].G.Data[j]
+			}
+		}
+		for r := 1; r < d; r++ {
+			copy(replicaParams[r][i].G.Data, g0.Data)
+		}
+	}
+	for r := 0; r < d; r++ {
+		dp.Replicas[r].ApplyOptimizer(float64(len(batches)))
+	}
+
+	var mean float64
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float64(d), nil
+}
+
+// InSync reports the maximum absolute parameter divergence across replicas
+// (zero when DP is working correctly).
+func (dp *DataParallel) InSync() float64 {
+	if len(dp.Replicas) < 2 {
+		return 0
+	}
+	ref := paramsOf(dp.Replicas[0])
+	var worst float64
+	for r := 1; r < len(dp.Replicas); r++ {
+		ps := paramsOf(dp.Replicas[r])
+		for i := range ps {
+			for j := range ps[i].W.Data {
+				if d := ps[i].W.Data[j] - ref[i].W.Data[j]; d > worst {
+					worst = d
+				} else if -d > worst {
+					worst = -d
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// RunDataParallel is Run with d synchronized replicas: each step's
+// MicroBatches are split across replicas and gradients are all-reduced.
+func RunDataParallel(d int, rc RunConfig) (RunResult, error) {
+	mk := func() (*Pipeline, error) {
+		net, err := NewNet(rc.Net)
+		if err != nil {
+			return nil, err
+		}
+		stages, err := Split(net, rc.Bounds, rc.Saves)
+		if err != nil {
+			return nil, err
+		}
+		return NewPipeline(stages, rc.LR), nil
+	}
+	dp, err := NewDataParallel(d, mk)
+	if err != nil {
+		return RunResult{}, err
+	}
+	corpus := NewCorpus(rc.Net.Vocab, 1<<16, rc.DataSeed+7)
+	rng := tensor.NewRNG(rc.DataSeed)
+	res := RunResult{Losses: make([]float64, rc.Steps)}
+	for step := 0; step < rc.Steps; step++ {
+		batches := corpus.Batches(rc.MicroBatches, rc.Net.Seq, rng)
+		loss, err := dp.Step(batches)
+		if err != nil {
+			return res, err
+		}
+		res.Losses[step] = loss
+	}
+	res.PeakActBytes = dp.Replicas[0].PeakActBytes
+	return res, nil
+}

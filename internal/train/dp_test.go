@@ -1,0 +1,126 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"adapipe/internal/tensor"
+)
+
+func mkReplica(t *testing.T, cfg Config, bounds []int, lr float64) func() (*Pipeline, error) {
+	t.Helper()
+	return func() (*Pipeline, error) {
+		net, err := NewNet(cfg)
+		if err != nil {
+			return nil, err
+		}
+		stages, err := Split(net, bounds, nil)
+		if err != nil {
+			return nil, err
+		}
+		return NewPipeline(stages, lr), nil
+	}
+}
+
+func TestDataParallelMatchesSingleReplica(t *testing.T) {
+	cfg := Config{Layers: 2, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: 12, Seed: 13}
+	const lr = 2e-3
+	corpus := NewCorpus(cfg.Vocab, 1<<14, 9)
+
+	dp1, err := NewDataParallel(1, mkReplica(t, cfg, []int{0, 3, 6}, lr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp2, err := NewDataParallel(2, mkReplica(t, cfg, []int{0, 3, 6}, lr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngA := tensor.NewRNG(5)
+	rngB := tensor.NewRNG(5)
+	for step := 0; step < 5; step++ {
+		batches1 := corpus.Batches(8, cfg.Seq, rngA)
+		batches2 := corpus.Batches(8, cfg.Seq, rngB)
+		l1, err := dp1.Step(batches1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := dp2.Step(batches2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same global batch: identical mean loss; parameters agree up to
+		// gradient-summation reassociation.
+		if math.Abs(l1-l2) > 1e-12 {
+			t.Fatalf("step %d: DP1 loss %.17g, DP2 loss %.17g", step, l1, l2)
+		}
+	}
+	p1 := paramsOf(dp1.Replicas[0])
+	p2 := paramsOf(dp2.Replicas[0])
+	for i := range p1 {
+		if d := tensor.MaxAbsDiff(p1[i].W, p2[i].W); d > 1e-9 {
+			t.Fatalf("param %s diverged by %g between DP=1 and DP=2", p1[i].Name, d)
+		}
+	}
+}
+
+func TestDataParallelReplicasStayInSync(t *testing.T) {
+	cfg := Config{Layers: 2, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: 12, Seed: 21}
+	dp, err := NewDataParallel(4, mkReplica(t, cfg, []int{0, 6}, 1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dp.InSync(); got != 0 {
+		t.Fatalf("replicas differ at initialization: %g", got)
+	}
+	corpus := NewCorpus(cfg.Vocab, 1<<14, 2)
+	rng := tensor.NewRNG(3)
+	for step := 0; step < 4; step++ {
+		if _, err := dp.Step(corpus.Batches(8, cfg.Seq, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Synchronous all-reduce keeps parameters bit-identical across
+	// replicas (every replica applies the same summed gradient).
+	if got := dp.InSync(); got != 0 {
+		t.Fatalf("replicas diverged after training: %g", got)
+	}
+}
+
+func TestDataParallelValidation(t *testing.T) {
+	cfg := Config{Layers: 1, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: 12, Seed: 1}
+	if _, err := NewDataParallel(0, mkReplica(t, cfg, []int{0, 4}, 1e-3)); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	dp, err := NewDataParallel(2, mkReplica(t, cfg, []int{0, 4}, 1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := NewCorpus(cfg.Vocab, 1<<12, 1)
+	rng := tensor.NewRNG(1)
+	if _, err := dp.Step(corpus.Batches(3, cfg.Seq, rng)); err == nil {
+		t.Error("non-divisible batch count accepted")
+	}
+	// Mismatched replica construction is rejected.
+	alt := cfg
+	alt.Dim = 32
+	calls := 0
+	mixed := func() (*Pipeline, error) {
+		calls++
+		use := cfg
+		if calls > 1 {
+			use = alt
+		}
+		net, err := NewNet(use)
+		if err != nil {
+			return nil, err
+		}
+		stages, err := Split(net, []int{0, 4}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return NewPipeline(stages, 1e-3), nil
+	}
+	if _, err := NewDataParallel(2, mixed); err == nil {
+		t.Error("mismatched replicas accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package train
+
+import (
+	"math"
+
+	"adapipe/internal/model"
+	"adapipe/internal/tensor"
+)
+
+// GatedFFNBlock is a SwiGLU feed-forward sub-layer (Llama-2 style):
+// y = x + Down(SiLU(Gate(ln)) ⊙ Up(ln)).
+type GatedFFNBlock struct {
+	LN   *LayerNorm
+	Up   *Linear
+	Gate *Linear
+	Down *Linear
+}
+
+// NewGatedFFNBlock builds a gated feed-forward sub-layer.
+func NewGatedFFNBlock(name string, dim, ffn int, rng *tensor.RNG) *GatedFFNBlock {
+	std := 0.02
+	return &GatedFFNBlock{
+		LN:   NewLayerNorm(name+".ln", dim),
+		Up:   NewLinear(name+".up", dim, ffn, std, rng),
+		Gate: NewLinear(name+".gate", dim, ffn, std, rng),
+		Down: NewLinear(name+".down", ffn, dim, std, rng),
+	}
+}
+
+// Kind returns model.FFN (gated and plain FFN layers partition identically).
+func (b *GatedFFNBlock) Kind() model.LayerKind { return model.FFN }
+
+// Params returns all trainable parameters of the block.
+func (b *GatedFFNBlock) Params() []*Param {
+	var ps []*Param
+	for _, u := range []interface{ Params() []*Param }{b.LN, b.Up, b.Gate, b.Down} {
+		ps = append(ps, u.Params()...)
+	}
+	return ps
+}
+
+type gatedCtx struct {
+	x    *tensor.Mat
+	ln   *tensor.Mat
+	lnSt *lnCtx
+	up   *tensor.Mat
+	gate *tensor.Mat
+	act  *tensor.Mat // SiLU(gate) ⊙ up
+}
+
+// SavedBytes sums the pinned activation payloads.
+func (c *gatedCtx) SavedBytes() int64 {
+	var n int64
+	for _, m := range []*tensor.Mat{c.x, c.ln, c.up, c.gate, c.act} {
+		if m != nil {
+			n += m.Bytes()
+		}
+	}
+	if c.lnSt != nil {
+		n += c.lnSt.xhat.Bytes() + int64(len(c.lnSt.rstd))*8
+	}
+	return n
+}
+
+// siluForward applies x·σ(x) element-wise.
+func siluForward(x *tensor.Mat) *tensor.Mat {
+	y := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = v / (1 + math.Exp(-v))
+	}
+	return y
+}
+
+// gatedAct computes SiLU(gate) ⊙ up.
+func gatedAct(up, gate *tensor.Mat) *tensor.Mat {
+	return tensor.Mul(siluForward(gate), up)
+}
+
+// gatedActBackward returns (dup, dgate) given the forward inputs.
+func gatedActBackward(up, gate, dy *tensor.Mat) (*tensor.Mat, *tensor.Mat) {
+	dup := tensor.New(up.Rows, up.Cols)
+	dgate := tensor.New(up.Rows, up.Cols)
+	for i := range up.Data {
+		g := gate.Data[i]
+		sig := 1 / (1 + math.Exp(-g))
+		silu := g * sig
+		dup.Data[i] = dy.Data[i] * silu
+		// d(silu)/dg = σ(g)·(1 + g·(1−σ(g)))
+		dgate.Data[i] = dy.Data[i] * up.Data[i] * sig * (1 + g*(1-sig))
+	}
+	return dup, dgate
+}
+
+// Forward runs the sub-layer keeping only the units selected by save.
+func (b *GatedFFNBlock) Forward(x *tensor.Mat, save SaveSpec) (*tensor.Mat, BlockCtx) {
+	ctx := &gatedCtx{x: x}
+	ln, lnSt := b.LN.Forward(x)
+	up := b.Up.Forward(ln)
+	gate := b.Gate.Forward(ln)
+	act := gatedAct(up, gate)
+	y := tensor.Add(x, b.Down.Forward(act))
+	if save[model.UnitLayerNorm] {
+		ctx.ln, ctx.lnSt = ln, &lnSt
+	}
+	if save[model.UnitFFNUp] {
+		ctx.up = up
+	}
+	if save[model.UnitFFNGate] {
+		ctx.gate = gate
+	}
+	if save[model.UnitFFNAct] {
+		ctx.act = act
+	}
+	return y, ctx
+}
+
+// Backward replays dropped units and computes gradients.
+func (b *GatedFFNBlock) Backward(bc BlockCtx, dy *tensor.Mat) *tensor.Mat {
+	ctx := bc.(*gatedCtx)
+	ln, lnSt := ctx.ln, ctx.lnSt
+	if ln == nil {
+		l, st := b.LN.Forward(ctx.x)
+		ln, lnSt = l, &st
+	}
+	up := ctx.up
+	if up == nil {
+		up = b.Up.Forward(ln)
+	}
+	gate := ctx.gate
+	if gate == nil {
+		gate = b.Gate.Forward(ln)
+	}
+	act := ctx.act
+	if act == nil {
+		act = gatedAct(up, gate)
+	}
+
+	dact := b.Down.Backward(act, dy)
+	dup, dgate := gatedActBackward(up, gate, dact)
+	dln := b.Up.Backward(ln, dup)
+	tensor.AddInPlace(dln, b.Gate.Backward(ln, dgate))
+	dx := b.LN.Backward(*lnSt, dln)
+	tensor.AddInPlace(dx, dy)
+	return dx
+}

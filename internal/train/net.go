@@ -1,0 +1,260 @@
+package train
+
+import (
+	"fmt"
+
+	"adapipe/internal/model"
+	"adapipe/internal/tensor"
+)
+
+// Config sizes the trainable micro-transformer.
+type Config struct {
+	// Layers is the decoder-block count (each block = Attention + FFN).
+	Layers int
+	// Dim is the model width.
+	Dim int
+	// Heads is the attention head count.
+	Heads int
+	// FFN is the feed-forward inner width.
+	FFN int
+	// Vocab is the vocabulary size.
+	Vocab int
+	// Seq is the training sequence length.
+	Seq int
+	// GatedFFN selects SwiGLU feed-forward blocks (Llama-2 style).
+	GatedFFN bool
+	// Seed seeds parameter initialization; identical seeds give identical
+	// parameters regardless of how the network is later partitioned.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Layers <= 0 || c.Dim <= 0 || c.Heads <= 0 || c.FFN <= 0 || c.Vocab <= 0 || c.Seq <= 0:
+		return fmt.Errorf("train: all dimensions must be positive: %+v", c)
+	case c.Dim%c.Heads != 0:
+		return fmt.Errorf("train: Dim %d must be divisible by Heads %d", c.Dim, c.Heads)
+	}
+	return nil
+}
+
+// Net is the complete micro-transformer.
+type Net struct {
+	// Cfg echoes the construction config.
+	Cfg Config
+	// Embed is the token+position embedding.
+	Embed *Embedding
+	// Blocks alternates Attention and FFN sub-layers (2×Layers entries).
+	Blocks []Block
+	// HeadLN is the final LayerNorm.
+	HeadLN *LayerNorm
+	// HeadProj is the vocabulary projection.
+	HeadProj *Linear
+}
+
+// NewNet builds and initializes the network. Each component draws from its
+// own deterministic RNG stream derived from (seed, component index), so
+// parameters do not depend on construction order or partitioning.
+func NewNet(cfg Config) (*Net, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	stream := func(i int) *tensor.RNG { return tensor.NewRNG(cfg.Seed*1000003 + uint64(i)*97 + 1) }
+	n := &Net{Cfg: cfg}
+	n.Embed = NewEmbedding("embed", cfg.Vocab, cfg.Seq, cfg.Dim, 0.02, stream(0))
+	for i := 0; i < cfg.Layers; i++ {
+		n.Blocks = append(n.Blocks, NewAttnBlock(fmt.Sprintf("b%d.attn", i), cfg.Dim, cfg.Heads, stream(1+2*i)))
+		if cfg.GatedFFN {
+			n.Blocks = append(n.Blocks, NewGatedFFNBlock(fmt.Sprintf("b%d.ffn", i), cfg.Dim, cfg.FFN, stream(2+2*i)))
+		} else {
+			n.Blocks = append(n.Blocks, NewFFNBlock(fmt.Sprintf("b%d.ffn", i), cfg.Dim, cfg.FFN, stream(2+2*i)))
+		}
+	}
+	n.HeadLN = NewLayerNorm("head.ln", cfg.Dim)
+	n.HeadProj = NewLinear("head.proj", cfg.Dim, cfg.Vocab, 0.02, stream(1+2*cfg.Layers))
+	return n, nil
+}
+
+// Params returns every trainable parameter.
+func (n *Net) Params() []*Param {
+	ps := n.Embed.Params()
+	for _, b := range n.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	ps = append(ps, n.HeadLN.Params()...)
+	ps = append(ps, n.HeadProj.Params()...)
+	return ps
+}
+
+// LayerSequence returns the partitionable layer sequence matching
+// model.Config.LayerSequence for the same decoder count, so core.Plan layer
+// ranges map 1:1 onto engine stages.
+func (n *Net) LayerSequence() []model.Layer {
+	seq := []model.Layer{{Kind: model.Embedding, Index: 0}}
+	for i, b := range n.Blocks {
+		seq = append(seq, model.Layer{Kind: b.Kind(), Index: i + 1})
+	}
+	seq = append(seq, model.Layer{Kind: model.Head, Index: len(seq)})
+	return seq
+}
+
+// Stage owns a contiguous slice of the network: optionally the embedding,
+// a run of blocks, and optionally the head.
+type Stage struct {
+	// Index is the pipeline stage id.
+	Index int
+	// Embed is non-nil on the first stage.
+	Embed *Embedding
+	// Blocks are the decoder sub-layers of the stage.
+	Blocks []Block
+	// Saves holds one SaveSpec per block (the stage's recomputation
+	// strategy from the planner).
+	Saves []SaveSpec
+	// HeadLN and HeadProj are non-nil on the last stage.
+	HeadLN   *LayerNorm
+	HeadProj *Linear
+	// SaveHeadLN keeps the head LayerNorm input/stats instead of
+	// recomputing them.
+	SaveHeadLN bool
+}
+
+// Params returns the stage's trainable parameters.
+func (s *Stage) Params() []*Param {
+	var ps []*Param
+	if s.Embed != nil {
+		ps = append(ps, s.Embed.Params()...)
+	}
+	for _, b := range s.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	if s.HeadLN != nil {
+		ps = append(ps, s.HeadLN.Params()...)
+	}
+	if s.HeadProj != nil {
+		ps = append(ps, s.HeadProj.Params()...)
+	}
+	return ps
+}
+
+// StageCtx is the saved state of one micro-batch's forward pass through a
+// stage.
+type StageCtx struct {
+	tokens []int
+	input  *tensor.Mat // boundary input for non-first stages
+	blocks []BlockCtx
+	// head state (last stage only)
+	headIn   *tensor.Mat
+	headLn   *tensor.Mat
+	headLnSt *lnCtx
+	logits   *tensor.Mat
+}
+
+// SavedBytes reports the activation memory the context pins.
+func (c *StageCtx) SavedBytes() int64 {
+	var n int64
+	if c.input != nil {
+		n += c.input.Bytes()
+	}
+	for _, b := range c.blocks {
+		n += b.SavedBytes()
+	}
+	for _, m := range []*tensor.Mat{c.headIn, c.headLn, c.logits} {
+		if m != nil {
+			n += m.Bytes()
+		}
+	}
+	return n
+}
+
+// Forward runs one micro-batch through the stage. The first stage consumes
+// tokens; later stages consume the boundary activation x. The last stage
+// returns logits.
+func (s *Stage) Forward(tokens []int, x *tensor.Mat) (*tensor.Mat, *StageCtx) {
+	ctx := &StageCtx{tokens: tokens}
+	if s.Embed != nil {
+		x = s.Embed.Forward(tokens)
+	} else {
+		ctx.input = x
+	}
+	ctx.blocks = make([]BlockCtx, len(s.Blocks))
+	for i, b := range s.Blocks {
+		x, ctx.blocks[i] = b.Forward(x, s.Saves[i])
+	}
+	if s.HeadProj != nil {
+		ctx.headIn = x
+		ln, st := s.HeadLN.Forward(x)
+		if s.SaveHeadLN {
+			ctx.headLn, ctx.headLnSt = ln, &st
+		}
+		logits := s.HeadProj.Forward(ln)
+		ctx.logits = logits
+		return logits, ctx
+	}
+	return x, ctx
+}
+
+// Backward propagates dy through the stage, accumulating parameter gradients
+// and returning the gradient of the stage input (nil on the first stage).
+func (s *Stage) Backward(ctx *StageCtx, dy *tensor.Mat) *tensor.Mat {
+	if s.HeadProj != nil {
+		ln, lnSt := ctx.headLn, ctx.headLnSt
+		if ln == nil {
+			l, st := s.HeadLN.Forward(ctx.headIn)
+			ln, lnSt = l, &st
+		}
+		dln := s.HeadProj.Backward(ln, dy)
+		dy = s.HeadLN.Backward(*lnSt, dln)
+	}
+	for i := len(s.Blocks) - 1; i >= 0; i-- {
+		dy = s.Blocks[i].Backward(ctx.blocks[i], dy)
+	}
+	if s.Embed != nil {
+		s.Embed.Backward(ctx.tokens, dy)
+		return nil
+	}
+	return dy
+}
+
+// Split partitions the network into p stages at the given layer bounds
+// (p+1 entries over the LayerSequence indices, as produced by the planner or
+// partition.Even). saves supplies one SaveSpec per block per stage; nil
+// means save everything.
+func Split(n *Net, bounds []int, saves [][]SaveSpec) ([]*Stage, error) {
+	seq := n.LayerSequence()
+	p := len(bounds) - 1
+	if bounds[0] != 0 || bounds[p] != len(seq) {
+		return nil, fmt.Errorf("train: bounds must span the %d-layer sequence, got %v", len(seq), bounds)
+	}
+	stages := make([]*Stage, p)
+	for s := 0; s < p; s++ {
+		if bounds[s+1] <= bounds[s] {
+			return nil, fmt.Errorf("train: stage %d is empty (bounds %v)", s, bounds)
+		}
+		st := &Stage{Index: s, SaveHeadLN: true}
+		blockIdx := 0
+		for li := bounds[s]; li < bounds[s+1]; li++ {
+			switch seq[li].Kind {
+			case model.Embedding:
+				st.Embed = n.Embed
+			case model.Head:
+				st.HeadLN = n.HeadLN
+				st.HeadProj = n.HeadProj
+			default:
+				// Block index in n.Blocks is li-1 (embedding first).
+				st.Blocks = append(st.Blocks, n.Blocks[li-1])
+				var spec SaveSpec
+				if saves != nil && s < len(saves) && blockIdx < len(saves[s]) {
+					spec = saves[s][blockIdx]
+				}
+				if spec == nil {
+					spec = SaveAll()
+				}
+				st.Saves = append(st.Saves, spec)
+				blockIdx++
+			}
+		}
+		stages[s] = st
+	}
+	return stages, nil
+}

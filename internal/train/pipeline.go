@@ -1,0 +1,214 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"adapipe/internal/schedule"
+	"adapipe/internal/tensor"
+)
+
+// Pipeline executes synchronous 1F1B pipeline-parallel training: one
+// goroutine per stage, activations flowing forward and gradients backward
+// over channels, with per-stage gradient accumulation and a per-stage Adam
+// optimizer — the execution engine of §6 in miniature.
+type Pipeline struct {
+	// Stages are the partitioned model stages.
+	Stages []*Stage
+	opts   []*Adam
+	// PeakActBytes records, per stage, the high-water mark of live
+	// activation contexts across all steps — the engine-level counterpart
+	// of the memory model's (p−s)·Mem(R) term.
+	PeakActBytes []int64
+}
+
+// NewPipeline wraps stages with per-stage Adam optimizers.
+func NewPipeline(stages []*Stage, lr float64) *Pipeline {
+	p := &Pipeline{Stages: stages, PeakActBytes: make([]int64, len(stages))}
+	for _, s := range stages {
+		p.opts = append(p.opts, NewAdam(s.Params(), lr))
+	}
+	return p
+}
+
+type flowMsg struct {
+	micro int
+	m     *tensor.Mat
+}
+
+// Step runs one training iteration over the given micro-batches under 1F1B
+// scheduling and applies the optimizer. It returns the mean loss across
+// micro-batches.
+func (p *Pipeline) Step(batches []Batch) (float64, error) {
+	loss, err := p.Accumulate(batches)
+	if err != nil {
+		return 0, err
+	}
+	p.ApplyOptimizer(float64(len(batches)))
+	return loss, nil
+}
+
+// ApplyOptimizer applies one optimizer step from the accumulated gradients,
+// scaled by 1/gradScale, then zeroes them. Data-parallel training sums
+// replica gradients first and passes the global micro-batch count.
+func (p *Pipeline) ApplyOptimizer(gradScale float64) {
+	for _, opt := range p.opts {
+		opt.Step(gradScale)
+	}
+}
+
+// Accumulate runs the forward and backward passes of one iteration under
+// 1F1B scheduling, accumulating gradients without applying the optimizer.
+// It returns the mean loss across micro-batches.
+func (p *Pipeline) Accumulate(batches []Batch) (float64, error) {
+	n := len(batches)
+	np := len(p.Stages)
+	if n < np {
+		return 0, fmt.Errorf("train: %d micro-batches cannot fill a %d-stage pipeline", n, np)
+	}
+	sched, err := schedule.OneFOneB(np, n)
+	if err != nil {
+		return 0, err
+	}
+
+	fwd := make([]chan flowMsg, np-1)
+	bwd := make([]chan flowMsg, np-1)
+	for i := range fwd {
+		fwd[i] = make(chan flowMsg, n)
+		bwd[i] = make(chan flowMsg, n)
+	}
+	losses := make([]float64, n)
+	errs := make([]error, np)
+
+	var wg sync.WaitGroup
+	for s := 0; s < np; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[s] = fmt.Errorf("train: stage %d: %v", s, r)
+				}
+			}()
+			stage := p.Stages[s]
+			ctxs := make(map[int]*StageCtx, np)
+			dlogits := make(map[int]*tensor.Mat, np)
+			var live int64
+			for _, op := range sched.Ops[s] {
+				m := op.Micros[0]
+				switch op.Kind {
+				case schedule.Forward:
+					var x *tensor.Mat
+					if s > 0 {
+						msg := <-fwd[s-1]
+						if msg.micro != m {
+							panic(fmt.Sprintf("forward order violation: got micro %d want %d", msg.micro, m))
+						}
+						x = msg.m
+					}
+					y, ctx := stage.Forward(batches[m].Tokens, x)
+					ctxs[m] = ctx
+					live += ctx.SavedBytes()
+					if live > p.PeakActBytes[s] {
+						p.PeakActBytes[s] = live
+					}
+					if s == np-1 {
+						if stage.HeadProj == nil {
+							panic("last stage has no head")
+						}
+						loss, dl := CrossEntropy(y, batches[m].Targets)
+						losses[m] = loss
+						dlogits[m] = dl
+					} else {
+						fwd[s] <- flowMsg{micro: m, m: y}
+					}
+				case schedule.Backward:
+					var dy *tensor.Mat
+					if s == np-1 {
+						dy = dlogits[m]
+						delete(dlogits, m)
+					} else {
+						msg := <-bwd[s]
+						if msg.micro != m {
+							panic(fmt.Sprintf("backward order violation: got micro %d want %d", msg.micro, m))
+						}
+						dy = msg.m
+					}
+					ctx := ctxs[m]
+					live -= ctx.SavedBytes()
+					delete(ctxs, m)
+					dx := stage.Backward(ctx, dy)
+					if s > 0 {
+						bwd[s-1] <- flowMsg{micro: m, m: dx}
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return 0, e
+		}
+	}
+	var mean float64
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float64(n), nil
+}
+
+// RunConfig describes a full training run.
+type RunConfig struct {
+	// Net sizes the model.
+	Net Config
+	// Bounds are the stage layer bounds over the layer sequence
+	// (len = stages+1).
+	Bounds []int
+	// Saves holds per-stage, per-block recomputation strategies; nil saves
+	// everything.
+	Saves [][]SaveSpec
+	// Steps is the iteration count.
+	Steps int
+	// MicroBatches is n, the micro-batches per iteration.
+	MicroBatches int
+	// LR is the Adam learning rate.
+	LR float64
+	// DataSeed seeds corpus sampling (identical seeds give identical
+	// batches regardless of partitioning).
+	DataSeed uint64
+}
+
+// RunResult is a completed training run.
+type RunResult struct {
+	// Losses is the per-step mean loss (the Figure 10 curve).
+	Losses []float64
+	// PeakActBytes is the per-stage live-activation high-water mark.
+	PeakActBytes []int64
+}
+
+// Run builds a network, partitions it, and trains it on a synthetic corpus.
+func Run(rc RunConfig) (RunResult, error) {
+	net, err := NewNet(rc.Net)
+	if err != nil {
+		return RunResult{}, err
+	}
+	stages, err := Split(net, rc.Bounds, rc.Saves)
+	if err != nil {
+		return RunResult{}, err
+	}
+	pipe := NewPipeline(stages, rc.LR)
+	corpus := NewCorpus(rc.Net.Vocab, 1<<16, rc.DataSeed+7)
+	rng := tensor.NewRNG(rc.DataSeed)
+	res := RunResult{Losses: make([]float64, rc.Steps)}
+	for step := 0; step < rc.Steps; step++ {
+		batches := corpus.Batches(rc.MicroBatches, rc.Net.Seq, rng)
+		loss, err := pipe.Step(batches)
+		if err != nil {
+			return res, err
+		}
+		res.Losses[step] = loss
+	}
+	res.PeakActBytes = pipe.PeakActBytes
+	return res, nil
+}

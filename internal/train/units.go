@@ -1,0 +1,337 @@
+// Package train is the execution-engine substrate of the reproduction: a
+// pure-Go transformer trainer with genuine unit-level recomputation and a
+// multi-goroutine 1F1B pipeline executor. It stands in for the paper's
+// Megatron-LM/MindSpore engines (§6) and backs the convergence validation of
+// Figure 10: recomputation drops intermediates in the forward pass and
+// replays the exact same floating-point operations before backward, so
+// gradients — and therefore loss curves — are bit-identical to training
+// without recomputation.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"adapipe/internal/tensor"
+)
+
+// Param is one trainable matrix with its gradient accumulator.
+type Param struct {
+	// Name identifies the parameter for debugging and checkpoint tests.
+	Name string
+	// W is the weight matrix.
+	W *tensor.Mat
+	// G is the gradient accumulator, zeroed by the optimizer step.
+	G *tensor.Mat
+}
+
+func newParam(name string, w *tensor.Mat) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Rows, w.Cols)}
+}
+
+// Linear is a dense layer y = x·W + b.
+type Linear struct {
+	// W is the [in, out] weight parameter.
+	W *Param
+	// B is the [1, out] bias parameter.
+	B *Param
+}
+
+// NewLinear initializes a Linear with N(0, std²) weights and zero bias.
+func NewLinear(name string, in, out int, std float64, rng *tensor.RNG) *Linear {
+	return &Linear{
+		W: newParam(name+".W", tensor.RandNorm(rng, in, out, std)),
+		B: newParam(name+".B", tensor.New(1, out)),
+	}
+}
+
+// Forward computes y = x·W + b.
+func (l *Linear) Forward(x *tensor.Mat) *tensor.Mat {
+	y := tensor.MatMul(x, l.W.W)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Data[i*y.Cols : (i+1)*y.Cols]
+		for j := range row {
+			row[j] += l.B.W.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients and returns dx. x must be the
+// forward input (saved or recomputed).
+func (l *Linear) Backward(x, dy *tensor.Mat) *tensor.Mat {
+	tensor.AddInPlace(l.W.G, tensor.TMatMul(x, dy))
+	for i := 0; i < dy.Rows; i++ {
+		row := dy.Data[i*dy.Cols : (i+1)*dy.Cols]
+		for j := range row {
+			l.B.G.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMulT(dy, l.W.W)
+}
+
+// Params returns the trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// LayerNorm normalizes each row to zero mean and unit variance, then applies
+// a learned gain and bias.
+type LayerNorm struct {
+	// G is the [1, dim] gain.
+	G *Param
+	// B is the [1, dim] bias.
+	B *Param
+	// Eps is the variance epsilon.
+	Eps float64
+}
+
+// NewLayerNorm initializes gain 1, bias 0.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	g := tensor.New(1, dim)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	return &LayerNorm{G: newParam(name+".G", g), B: newParam(name+".B", tensor.New(1, dim)), Eps: 1e-5}
+}
+
+// lnCtx holds the per-row statistics LayerNorm's backward needs.
+type lnCtx struct {
+	xhat *tensor.Mat // normalized input
+	rstd []float64   // per-row 1/σ
+}
+
+// Forward returns the normalized output and its backward context.
+func (l *LayerNorm) Forward(x *tensor.Mat) (*tensor.Mat, lnCtx) {
+	y := tensor.New(x.Rows, x.Cols)
+	ctx := lnCtx{xhat: tensor.New(x.Rows, x.Cols), rstd: make([]float64, x.Rows)}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Data[i*x.Cols : (i+1)*x.Cols]
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		var varsum float64
+		for _, v := range row {
+			d := v - mean
+			varsum += d * d
+		}
+		rstd := 1 / math.Sqrt(varsum/float64(len(row))+l.Eps)
+		ctx.rstd[i] = rstd
+		xh := ctx.xhat.Data[i*x.Cols : (i+1)*x.Cols]
+		yr := y.Data[i*x.Cols : (i+1)*x.Cols]
+		for j, v := range row {
+			xh[j] = (v - mean) * rstd
+			yr[j] = xh[j]*l.G.W.Data[j] + l.B.W.Data[j]
+		}
+	}
+	return y, ctx
+}
+
+// Backward accumulates gain/bias gradients and returns dx.
+func (l *LayerNorm) Backward(ctx lnCtx, dy *tensor.Mat) *tensor.Mat {
+	dx := tensor.New(dy.Rows, dy.Cols)
+	n := float64(dy.Cols)
+	for i := 0; i < dy.Rows; i++ {
+		dyr := dy.Data[i*dy.Cols : (i+1)*dy.Cols]
+		xh := ctx.xhat.Data[i*dy.Cols : (i+1)*dy.Cols]
+		var sumDy, sumDyXh float64
+		for j, v := range dyr {
+			g := v * l.G.W.Data[j]
+			sumDy += g
+			sumDyXh += g * xh[j]
+			l.G.G.Data[j] += v * xh[j]
+			l.B.G.Data[j] += v
+		}
+		dxr := dx.Data[i*dy.Cols : (i+1)*dy.Cols]
+		for j, v := range dyr {
+			g := v * l.G.W.Data[j]
+			dxr[j] = (g - sumDy/n - xh[j]*sumDyXh/n) * ctx.rstd[i]
+		}
+	}
+	return dx
+}
+
+// Params returns the trainable parameters.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.G, l.B} }
+
+// geluForward applies the tanh-approximated GELU element-wise.
+func geluForward(x *tensor.Mat) *tensor.Mat {
+	y := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = 0.5 * v * (1 + math.Tanh(geluK*(v+geluC*v*v*v)))
+	}
+	return y
+}
+
+const (
+	geluK = 0.7978845608028654 // √(2/π)
+	geluC = 0.044715
+)
+
+// geluBackward returns dx given the forward input.
+func geluBackward(x, dy *tensor.Mat) *tensor.Mat {
+	dx := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		inner := geluK * (v + geluC*v*v*v)
+		t := math.Tanh(inner)
+		dinner := geluK * (1 + 3*geluC*v*v)
+		dx.Data[i] = dy.Data[i] * (0.5*(1+t) + 0.5*v*(1-t*t)*dinner)
+	}
+	return dx
+}
+
+// attentionCore computes multi-head causal attention O = softmax(QKᵀ/√dh)·V
+// head by head. It is the naive counterpart of the paper's FlashAttention
+// unit; the per-head probability matrices are its "internally saved tensors".
+type coreCtx struct {
+	probs []*tensor.Mat // per-head [T, T] softmax outputs
+}
+
+func attentionCore(q, k, v *tensor.Mat, heads int) (*tensor.Mat, coreCtx) {
+	T := q.Rows
+	dh := q.Cols / heads
+	out := tensor.New(T, q.Cols)
+	ctx := coreCtx{probs: make([]*tensor.Mat, heads)}
+	scale := 1 / math.Sqrt(float64(dh))
+	for h := 0; h < heads; h++ {
+		qh := headView(q, h, dh)
+		kh := headView(k, h, dh)
+		vh := headView(v, h, dh)
+		scores := tensor.MatMulT(qh, kh)
+		for i := 0; i < T; i++ {
+			for j := 0; j <= i; j++ {
+				scores.Set(i, j, scores.At(i, j)*scale)
+			}
+			for j := i + 1; j < T; j++ {
+				scores.Set(i, j, math.Inf(-1))
+			}
+		}
+		p := tensor.SoftmaxRows(scores)
+		ctx.probs[h] = p
+		oh := tensor.MatMul(p, vh)
+		writeHead(out, oh, h, dh)
+	}
+	return out, ctx
+}
+
+// attentionCoreBackward returns dq, dk, dv given the forward inputs and the
+// saved probability matrices.
+func attentionCoreBackward(ctx coreCtx, q, k, v, dout *tensor.Mat, heads int) (dq, dk, dv *tensor.Mat) {
+	T := q.Rows
+	dh := q.Cols / heads
+	dq = tensor.New(T, q.Cols)
+	dk = tensor.New(T, q.Cols)
+	dv = tensor.New(T, q.Cols)
+	scale := 1 / math.Sqrt(float64(dh))
+	for h := 0; h < heads; h++ {
+		qh := headView(q, h, dh)
+		kh := headView(k, h, dh)
+		vh := headView(v, h, dh)
+		doh := headView(dout, h, dh)
+		p := ctx.probs[h]
+		dvh := tensor.TMatMul(p, doh)
+		dp := tensor.MatMulT(doh, vh)
+		// Softmax backward: dS = P ⊙ (dP − rowsum(dP⊙P)).
+		ds := tensor.New(T, T)
+		for i := 0; i < T; i++ {
+			var dot float64
+			for j := 0; j <= i; j++ {
+				dot += dp.At(i, j) * p.At(i, j)
+			}
+			for j := 0; j <= i; j++ {
+				ds.Set(i, j, p.At(i, j)*(dp.At(i, j)-dot)*scale)
+			}
+		}
+		dqh := tensor.MatMul(ds, kh)
+		dkh := tensor.TMatMul(ds, qh)
+		writeHead(dq, dqh, h, dh)
+		writeHead(dk, dkh, h, dh)
+		writeHead(dv, dvh, h, dh)
+	}
+	return dq, dk, dv
+}
+
+// headView copies head h's columns into a [T, dh] matrix.
+func headView(m *tensor.Mat, h, dh int) *tensor.Mat {
+	out := tensor.New(m.Rows, dh)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*dh:(i+1)*dh], m.Data[i*m.Cols+h*dh:i*m.Cols+(h+1)*dh])
+	}
+	return out
+}
+
+// writeHead copies a [T, dh] matrix into head h's columns of m.
+func writeHead(m, src *tensor.Mat, h, dh int) {
+	for i := 0; i < src.Rows; i++ {
+		copy(m.Data[i*m.Cols+h*dh:i*m.Cols+(h+1)*dh], src.Data[i*dh:(i+1)*dh])
+	}
+}
+
+// Embedding maps token ids to vectors, with learned positional embeddings.
+type Embedding struct {
+	// Tok is the [vocab, dim] token table.
+	Tok *Param
+	// Pos is the [maxSeq, dim] position table.
+	Pos *Param
+}
+
+// NewEmbedding initializes both tables with N(0, std²).
+func NewEmbedding(name string, vocab, maxSeq, dim int, std float64, rng *tensor.RNG) *Embedding {
+	return &Embedding{
+		Tok: newParam(name+".Tok", tensor.RandNorm(rng, vocab, dim, std)),
+		Pos: newParam(name+".Pos", tensor.RandNorm(rng, maxSeq, dim, std)),
+	}
+}
+
+// Forward returns the [len(tokens), dim] embedded sequence.
+func (e *Embedding) Forward(tokens []int) *tensor.Mat {
+	dim := e.Tok.W.Cols
+	out := tensor.New(len(tokens), dim)
+	for i, t := range tokens {
+		if t < 0 || t >= e.Tok.W.Rows {
+			panic(fmt.Sprintf("train: token %d out of vocab %d", t, e.Tok.W.Rows))
+		}
+		for j := 0; j < dim; j++ {
+			out.Data[i*dim+j] = e.Tok.W.At(t, j) + e.Pos.W.At(i, j)
+		}
+	}
+	return out
+}
+
+// Backward accumulates table gradients from dy.
+func (e *Embedding) Backward(tokens []int, dy *tensor.Mat) {
+	dim := e.Tok.W.Cols
+	for i, t := range tokens {
+		for j := 0; j < dim; j++ {
+			g := dy.Data[i*dim+j]
+			e.Tok.G.Data[t*dim+j] += g
+			e.Pos.G.Data[i*dim+j] += g
+		}
+	}
+}
+
+// Params returns the trainable parameters.
+func (e *Embedding) Params() []*Param { return []*Param{e.Tok, e.Pos} }
+
+// CrossEntropy computes the mean next-token loss and the logits gradient.
+func CrossEntropy(logits *tensor.Mat, targets []int) (float64, *tensor.Mat) {
+	if len(targets) != logits.Rows {
+		panic(fmt.Sprintf("train: %d targets for %d logit rows", len(targets), logits.Rows))
+	}
+	probs := tensor.SoftmaxRows(logits)
+	dlogits := probs.Clone()
+	var loss float64
+	inv := 1 / float64(len(targets))
+	for i, t := range targets {
+		p := probs.At(i, t)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		dlogits.Set(i, t, dlogits.At(i, t)-1)
+	}
+	for i := range dlogits.Data {
+		dlogits.Data[i] *= inv
+	}
+	return loss * inv, dlogits
+}

@@ -1,0 +1,48 @@
+package adapipe
+
+import (
+	"adapipe/internal/experiments"
+	"adapipe/internal/train"
+)
+
+// Training-engine façade: a pure-Go pipelined transformer trainer with real
+// unit-level recomputation (the execution engine of §6 in miniature).
+type (
+	// TrainConfig sizes the trainable micro-transformer.
+	TrainConfig = train.Config
+	// TrainRunConfig describes a full training run (partitioning,
+	// recomputation strategy, steps, micro-batches).
+	TrainRunConfig = train.RunConfig
+	// TrainResult carries the per-step losses and per-stage activation
+	// high-water marks.
+	TrainResult = train.RunResult
+	// SaveSpec selects which computation units of a block keep their
+	// activations; unsaved units are recomputed before backward.
+	SaveSpec = train.SaveSpec
+)
+
+// SaveAll returns a SaveSpec that keeps every unit (no recomputation).
+func SaveAll() SaveSpec { return train.SaveAll() }
+
+// SaveNone returns a SaveSpec that recomputes every optional unit.
+func SaveNone() SaveSpec { return train.SaveNone() }
+
+// Train builds a micro-transformer, partitions it into pipeline stages, and
+// trains it on a deterministic synthetic corpus with multi-goroutine 1F1B
+// scheduling. Gradients are bit-identical across recomputation strategies
+// and partitionings (§7.5).
+func Train(rc TrainRunConfig) (TrainResult, error) { return train.Run(rc) }
+
+// TrainDataParallel runs d synchronized pipeline replicas with gradient
+// all-reduce (the DP dimension of 3D parallelism) and returns per-step mean
+// losses. Replicas are built identically from the run config's seed; the
+// global micro-batches are split across them each step.
+func TrainDataParallel(d int, rc TrainRunConfig) (TrainResult, error) {
+	return train.RunDataParallel(d, rc)
+}
+
+// TrainSpecFromPlan converts a planner Plan into engine stage bounds and
+// per-block SaveSpecs, so a searched strategy can be executed for real.
+func TrainSpecFromPlan(p *Plan, m Model) (bounds []int, saves [][]SaveSpec) {
+	return experiments.SavesFromPlan(p, m.LayerSequence())
+}
