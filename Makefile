@@ -1,0 +1,36 @@
+GO ?= go
+BIN := bin/adapipevet
+
+.PHONY: all build lint test race ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+$(BIN): FORCE
+	$(GO) build -o $(BIN) ./cmd/adapipevet
+
+.PHONY: FORCE
+FORCE:
+
+# lint runs go vet plus the repo's own analyzer suite (maporder, floatcmp,
+# pipesync, errcheckcmd) over every package, both standalone and through the
+# go vet -vettool driver.
+lint: $(BIN)
+	$(GO) vet ./...
+	./$(BIN) ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the concurrent packages (the 1F1B executor and simulator)
+# under the race detector.
+race:
+	$(GO) test -race ./internal/train/... ./internal/sim/...
+
+# ci is the full gate the GitHub Actions workflow runs.
+ci: build lint test race
+
+clean:
+	rm -rf bin

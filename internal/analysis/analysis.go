@@ -1,0 +1,252 @@
+// Package analysis is a dependency-free static-analysis framework and lint
+// suite for the AdaPipe repro. Its API mirrors the relevant subset of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — so the
+// analyzers can be ported to the upstream driver verbatim if the dependency
+// ever becomes available; here everything is built on the standard library
+// (go/ast, go/types, go/importer) so the suite works in hermetic builds.
+//
+// The suite exists because the planner's two-level DP must be bit-for-bit
+// deterministic (tests assert exact plan equality, and serialized plans are
+// diffed across runs) and because the 1F1B executor is multi-goroutine
+// channel code where races corrupt schedule comparisons silently. Four
+// analyzers enforce the invariants:
+//
+//   - maporder:    order-dependent iteration over Go maps in packages whose
+//     output must be reproducible (planner, serializer, trace, ...).
+//   - floatcmp:    exact ==/!= between floating-point cost/time values in
+//     the solver packages, where an epsilon compare is required.
+//   - pipesync:    goroutine hygiene in the pipeline executors — loop
+//     variable capture, WaitGroup.Add inside the spawned goroutine, and
+//     channel sends while holding a mutex.
+//   - errcheckcmd: dropped error returns in cmd/ and examples/.
+//
+// A finding can be suppressed with a trailing or preceding line comment of
+// the form:
+//
+//	//adapipevet:ignore <analyzer-name> <reason>
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Applies reports whether the analyzer runs on the given package import
+	// path. A nil Applies runs everywhere.
+	Applies func(pkgPath string) bool
+	// SkipTests excludes _test.go files from the pass. The determinism
+	// analyzers set it: tests assert exact plan equality on purpose, and
+	// the order of test-failure output is not part of the reproducible
+	// surface. Fixture files live under testdata and are unaffected.
+	SkipTests bool
+	// Run executes the pass and reports findings via pass.Report*.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the problem.
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package, mirroring
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	// Analyzer is the pass being run.
+	Analyzer *Analyzer
+	// Fset maps positions for the package's files.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type and object resolution for the syntax.
+	TypesInfo *types.Info
+
+	diags   []Diagnostic
+	ignores map[int]map[string]bool // file-line -> analyzer name (or "") -> ignored
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.ignored(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ignored reports whether an //adapipevet:ignore directive on the finding's
+// line, or on the line directly above it, names this analyzer.
+func (p *Pass) ignored(pos token.Pos) bool {
+	if p.ignores == nil {
+		p.ignores = map[int]map[string]bool{}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "adapipevet:ignore") {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(text, "adapipevet:ignore"))
+					name := rest
+					if i := strings.IndexAny(rest, " \t"); i >= 0 {
+						name = rest[:i]
+					}
+					line := p.Fset.Position(c.Pos()).Line
+					for _, l := range []int{line, line + 1} {
+						if p.ignores[l] == nil {
+							p.ignores[l] = map[string]bool{}
+						}
+						p.ignores[l][name] = true
+					}
+				}
+			}
+		}
+	}
+	byName := p.ignores[p.Fset.Position(pos).Line]
+	return byName != nil && (byName[p.Analyzer.Name] || byName[""] || byName["all"])
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("adapipe/internal/core").
+	Path string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed sources (including in-package _test files when
+	// the loader was asked for them).
+	Files []*ast.File
+	// Types is the checked package.
+	Types *types.Package
+	// Info is the type information for Files.
+	Info *types.Info
+	// TypeErrors holds soft type-checking errors; analysis proceeds on a
+	// best-effort basis when non-empty.
+	TypeErrors []error
+}
+
+// Run executes each applicable analyzer over each package and returns all
+// diagnostics in (file, line, column, analyzer) order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			files := pkg.Files
+			if a.SkipTests {
+				files = nil
+				for _, f := range pkg.Files {
+					name := pkg.Fset.Position(f.Pos()).Filename
+					if !strings.HasSuffix(name, "_test.go") {
+						files = append(files, f)
+					}
+				}
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				pass.diags = append(pass.diags, Diagnostic{
+					Pos:      token.NoPos,
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	if len(pkgs) > 0 {
+		sortDiagnostics(pkgs[0].Fset, out)
+	}
+	return out
+}
+
+// sortDiagnostics orders diags by position then analyzer name.
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// All returns the full lint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, FloatCmp, PipeSync, ErrCheckCmd}
+}
+
+// ByName returns the named analyzers, or an error naming the unknown one.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// pathMatcher builds an Applies func: the analyzer runs on packages whose
+// import path equals one of exact, or contains one of fragments as a
+// slash-delimited segment substring. Every analyzer also matches fixture
+// packages whose path contains its own name, so analysistest fixtures are
+// in scope by construction.
+func pathMatcher(exact []string, fragments ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, e := range exact {
+			if pkgPath == e {
+				return true
+			}
+		}
+		for _, f := range fragments {
+			if strings.Contains(pkgPath, f) {
+				return true
+			}
+		}
+		return false
+	}
+}

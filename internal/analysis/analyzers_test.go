@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMapOrderFixture(t *testing.T)    { RunFixture(t, FixtureDir("maporder"), MapOrder) }
+func TestFloatCmpFixture(t *testing.T)    { RunFixture(t, FixtureDir("floatcmp"), FloatCmp) }
+func TestPipeSyncFixture(t *testing.T)    { RunFixture(t, FixtureDir("pipesync"), PipeSync) }
+func TestErrCheckCmdFixture(t *testing.T) { RunFixture(t, FixtureDir("errcheckcmd"), ErrCheckCmd) }
+
+// TestScopes pins the package scoping: each analyzer must cover the
+// packages its invariant lives in and stay out of unrelated ones.
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		a    *Analyzer
+		in   []string
+		out  []string
+		name string
+	}{
+		{MapOrder, []string{"adapipe", "adapipe/internal/core", "adapipe/internal/trace", "adapipe/internal/recompute"},
+			[]string{"adapipe/internal/train", "adapipe/cmd/adapipe"}, "maporder"},
+		{FloatCmp, []string{"adapipe/internal/core", "adapipe/internal/partition", "adapipe/internal/recompute"},
+			[]string{"adapipe", "adapipe/internal/sim"}, "floatcmp"},
+		{PipeSync, []string{"adapipe/internal/train", "adapipe/internal/sim"},
+			[]string{"adapipe/internal/core", "adapipe"}, "pipesync"},
+		{ErrCheckCmd, []string{"adapipe/cmd/adapipe", "adapipe/cmd/experiments", "adapipe/examples/quickstart"},
+			[]string{"adapipe", "adapipe/internal/core"}, "errcheckcmd"},
+	}
+	for _, tc := range cases {
+		for _, p := range tc.in {
+			if !tc.a.Applies(p) {
+				t.Errorf("%s: should apply to %s", tc.name, p)
+			}
+		}
+		for _, p := range tc.out {
+			if tc.a.Applies(p) {
+				t.Errorf("%s: should not apply to %s", tc.name, p)
+			}
+		}
+		if !tc.a.Applies(tc.name) {
+			t.Errorf("%s: should apply to its own fixture package", tc.name)
+		}
+	}
+}
+
+// TestIgnoreDirective checks suppression on the same and the preceding line.
+func TestIgnoreDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package ig
+
+func cmp(a, b float64) (bool, bool, bool) {
+	x := a == b //adapipevet:ignore floatcmp reason
+	//adapipevet:ignore floatcmp reason
+	y := a == b
+	z := a == b
+	return x, y, z
+}
+`
+	if err := writeFile(filepath.Join(dir, "ig.go"), src); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := CheckFiles(fset, "floatcmp_ignore", []string{filepath.Join(dir, "ig.go")}, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{FloatCmp})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the unsuppressed one: %v", len(diags), diags)
+	}
+	if line := fset.Position(diags[0].Pos).Line; line != 7 {
+		t.Errorf("diagnostic on line %d, want 7 (the z assignment)", line)
+	}
+	if !strings.Contains(diags[0].Message, "exact ==") {
+		t.Errorf("unexpected message %q", diags[0].Message)
+	}
+}
+
+// TestSuiteCleanOnRepo runs the full suite over the whole module — the same
+// gate CI enforces — so a regression that introduces nondeterministic
+// iteration or a dropped error fails `go test` too, not only the lint step.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load([]string{"adapipe/..."}, LoadOptions{Dir: moduleRoot(t), Tests: true})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages, expected the whole module", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s: %s: %s", pkgs[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheckCmd flags call statements that drop an error result in the
+// command and example binaries. Library packages return errors to their
+// callers and the compiler's unused-variable check catches most slips, but
+// a bare `f(x)` statement whose error vanishes is legal Go — in cmd/ and
+// examples/ that silently swallows OOM-plan and I/O failures that the
+// binaries exist to surface.
+//
+// Print-family calls (fmt.Print*, fmt.Fprint* and strings.Builder /
+// bytes.Buffer writes, whose errors are documented to be always nil or
+// conventionally ignored) are allowed.
+var ErrCheckCmd = &Analyzer{
+	Name: "errcheckcmd",
+	Doc: "flags dropped error returns in cmd/ and examples/ binaries; handle the " +
+		"error or assign it explicitly",
+	Applies: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "cmd/") ||
+			strings.Contains(pkgPath, "examples/") ||
+			strings.Contains(pkgPath, "errcheckcmd") // fixture packages
+	},
+	Run: runErrCheckCmd,
+}
+
+func runErrCheckCmd(pass *Pass) error {
+	check := func(call *ast.CallExpr, kind string) {
+		if !returnsError(pass, call) || allowedDrop(pass, call) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s%s drops its error result; handle it or assign it explicitly",
+			kind, callName(call))
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.GoStmt:
+				check(st.Call, "go ")
+			case *ast.DeferStmt:
+				check(st.Call, "defer ")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(rt)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// allowedDrop lists the conventional always-ignored error sources.
+func allowedDrop(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	// fmt.Print / fmt.Printf / fmt.Println / fmt.Fprint* to any writer.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+			return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+		}
+	}
+	// strings.Builder and bytes.Buffer Write* methods never fail.
+	if t := pass.TypeOf(sel.X); t != nil {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				path, tn := obj.Pkg().Path(), obj.Name()
+				if (path == "strings" && tn == "Builder") || (path == "bytes" && tn == "Buffer") {
+					return strings.HasPrefix(name, "Write")
+				}
+			}
+		}
+	}
+	return false
+}
+
+// callName renders the callee for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

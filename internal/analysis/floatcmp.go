@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags exact ==/!= comparisons between floating-point values in
+// the solver packages. The two-level DP compares modeled costs and times
+// that are sums of float64 terms; exact equality on such values is fragile
+// (associativity-dependent rounding can flip a comparison between otherwise
+// identical runs of a refactored solver) and breaks tie-handling
+// determinism. Use an epsilon compare such as partition.AlmostEq instead.
+//
+// Comparisons where both operands are compile-time constants are exact by
+// definition and stay allowed.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flags exact ==/!= between float-typed cost/time expressions in the solver " +
+		"packages; use the epsilon helper (partition.AlmostEq) instead",
+	Applies: pathMatcher(
+		nil,
+		"adapipe/internal/core",
+		"adapipe/internal/partition",
+		"adapipe/internal/recompute",
+		"floatcmp", // fixture packages
+	),
+	SkipTests: true,
+	Run:       runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if isConst(pass, be.X) && isConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"exact %s between floats %s and %s; modeled costs accumulate rounding error — "+
+					"use the epsilon compare helper (partition.AlmostEq)",
+				be.Op, exprString(pass.Fset, be.X), exprString(pass.Fset, be.Y))
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

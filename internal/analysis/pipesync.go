@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PipeSync enforces goroutine hygiene in the pipeline executors
+// (internal/train, internal/sim), where a silent race corrupts the schedule
+// comparison against the DAPPLE-style baselines instead of crashing. Three
+// patterns are flagged:
+//
+//  1. a goroutine launched inside a loop whose function literal captures
+//     the loop variable instead of receiving it as an argument. Go ≥1.22
+//     gives each iteration a fresh variable, but the capture still couples
+//     the goroutine to mutation of the variable inside the iteration and
+//     breaks under toolchains built with older language versions — the
+//     executor passes stage/replica indices explicitly;
+//  2. WaitGroup.Add called inside the spawned goroutine itself, which races
+//     with the parent's Wait;
+//  3. a channel send while a mutex is held (between Lock and Unlock, or
+//     after a deferred Unlock), which blocks the pipeline with the lock
+//     taken as soon as the peer stage also needs it.
+var PipeSync = &Analyzer{
+	Name: "pipesync",
+	Doc: "flags loop-variable capture in go statements, WaitGroup.Add inside the " +
+		"spawned goroutine, and channel sends while holding a mutex in the " +
+		"pipeline executor packages",
+	Applies: pathMatcher(
+		nil,
+		"adapipe/internal/train",
+		"adapipe/internal/sim",
+		"pipesync", // fixture packages
+	),
+	Run: runPipeSync,
+}
+
+func runPipeSync(pass *Pass) error {
+	for _, file := range pass.Files {
+		checkGoStmts(pass, file)
+		checkSendUnderMutex(pass, file)
+	}
+	return nil
+}
+
+// checkGoStmts walks loops looking for `go func(){...}()` bodies that
+// capture the loop variables, and for WaitGroup.Add calls inside any
+// goroutine function literal.
+func checkGoStmts(pass *Pass, file *ast.File) {
+	// Collect the loop variables in scope at each go statement.
+	type frame struct{ vars []types.Object }
+	var stack []frame
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.RangeStmt:
+				var vars []types.Object
+				for _, e := range []ast.Expr{st.Key, st.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+							vars = append(vars, obj)
+						}
+					}
+				}
+				stack = append(stack, frame{vars})
+				walk(st.Body)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.ForStmt:
+				var vars []types.Object
+				if init, ok := st.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, e := range init.Lhs {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil {
+								vars = append(vars, obj)
+							}
+						}
+					}
+				}
+				stack = append(stack, frame{vars})
+				if st.Body != nil {
+					walk(st.Body)
+				}
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.GoStmt:
+				fl, ok := st.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				for _, fr := range stack {
+					for _, obj := range fr.vars {
+						if usesObjectNode(pass, fl.Body, obj) {
+							pass.Reportf(st.Pos(),
+								"goroutine captures loop variable %s; pass it as an argument "+
+									"(go func(%s %s) {...}(%s)) so the stage binding is explicit",
+								obj.Name(), obj.Name(), obj.Type(), obj.Name())
+						}
+					}
+				}
+				checkWaitGroupAdd(pass, fl)
+				return true
+			}
+			return true
+		})
+	}
+	walk(file)
+}
+
+// usesObject variant for statements.
+func usesObjectNode(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkWaitGroupAdd flags wg.Add calls lexically inside a goroutine body:
+// if the parent reaches Wait before the goroutine is scheduled, the Add
+// races the Wait and the iteration can return early.
+func checkWaitGroupAdd(pass *Pass, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != fl {
+			return false // nested goroutine bodies get their own GoStmt visit
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if !isSyncType(pass.TypeOf(sel.X), "WaitGroup") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"WaitGroup.Add inside the spawned goroutine races the parent's Wait; "+
+				"call Add before the go statement")
+		return true
+	})
+}
+
+// checkSendUnderMutex scans each function body in source order, tracking a
+// lexical held-mutex count across Lock/Unlock calls (a deferred Unlock
+// keeps the mutex held for the rest of the body), and flags channel sends
+// made while the count is positive.
+func checkSendUnderMutex(pass *Pass, file *ast.File) {
+	var scan func(body *ast.BlockStmt)
+	scan = func(body *ast.BlockStmt) {
+		held := 0
+		deferred := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncLit:
+				scan(st.Body)
+				return false
+			case *ast.DeferStmt:
+				if isMutexCall(pass, st.Call, "Unlock") || isMutexCall(pass, st.Call, "RUnlock") {
+					deferred = true
+				}
+				return false
+			case *ast.CallExpr:
+				switch {
+				case isMutexCall(pass, st, "Lock"), isMutexCall(pass, st, "RLock"):
+					held++
+				case isMutexCall(pass, st, "Unlock"), isMutexCall(pass, st, "RUnlock"):
+					if held > 0 {
+						held--
+					}
+				}
+			case *ast.SendStmt:
+				if held > 0 || deferred {
+					pass.Reportf(st.Arrow,
+						"channel send while holding a mutex can deadlock the pipeline "+
+							"(the receiver may need the same lock); send after Unlock")
+				}
+			}
+			return true
+		})
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			scan(fd.Body)
+		}
+	}
+}
+
+// isMutexCall reports whether call is m.<method>() on a sync.Mutex or
+// sync.RWMutex receiver.
+func isMutexCall(pass *Pass, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	return isSyncType(pass.TypeOf(sel.X), "Mutex") || isSyncType(pass.TypeOf(sel.X), "RWMutex")
+}
+
+// isSyncType reports whether t (possibly behind a pointer) is sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

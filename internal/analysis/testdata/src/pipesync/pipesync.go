@@ -1,0 +1,106 @@
+// Package pipesync is the analysistest fixture for the pipesync analyzer.
+package pipesync
+
+import "sync"
+
+// LaunchCaptured launches stage goroutines that capture the loop variable —
+// flagged.
+func LaunchCaptured(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func() { // want `goroutine captures loop variable s`
+			defer wg.Done()
+			work(s)
+		}()
+	}
+	wg.Wait()
+}
+
+// LaunchRangeCaptured captures a range variable — flagged.
+func LaunchRangeCaptured(stages []func()) {
+	var wg sync.WaitGroup
+	for _, stage := range stages {
+		wg.Add(1)
+		go func() { // want `goroutine captures loop variable stage`
+			defer wg.Done()
+			stage()
+		}()
+	}
+	wg.Wait()
+}
+
+// AddInside calls WaitGroup.Add inside the goroutine — flagged.
+func AddInside(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		s := s
+		go func() {
+			wg.Add(1) // want `WaitGroup.Add inside the spawned goroutine`
+			defer wg.Done()
+			work(s)
+		}()
+	}
+	wg.Wait()
+}
+
+// SendLocked sends on a channel while holding the mutex — flagged.
+type SendLocked struct {
+	mu  sync.Mutex
+	out chan int
+	seq int
+}
+
+// Emit publishes the next sequence number.
+func (s *SendLocked) Emit() {
+	s.mu.Lock()
+	s.seq++
+	s.out <- s.seq // want `channel send while holding a mutex`
+	s.mu.Unlock()
+}
+
+// EmitDeferred holds the lock via defer across the send — flagged.
+func (s *SendLocked) EmitDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.out <- s.seq // want `channel send while holding a mutex`
+}
+
+// EmitAfterUnlock computes under the lock and sends after releasing — not
+// flagged.
+func (s *SendLocked) EmitAfterUnlock() {
+	s.mu.Lock()
+	s.seq++
+	v := s.seq
+	s.mu.Unlock()
+	s.out <- v
+}
+
+// LaunchExplicit passes the loop variable as an argument and Adds before
+// launching — the approved executor pattern, not flagged.
+func LaunchExplicit(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			work(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// SuppressedCapture documents a harmless capture.
+func SuppressedCapture(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		//adapipevet:ignore pipesync go1.22 per-iteration variable, never mutated
+		go func() {
+			defer wg.Done()
+			work(s)
+		}()
+	}
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"adapipe/internal/hardware"
@@ -543,7 +544,6 @@ func (pl *Planner) LayerCount() int { return len(pl.layers) }
 func coarsenToLayers(groups []recompute.Group) []recompute.Group {
 	merged := map[string]*recompute.Group{}
 	var out []recompute.Group
-	order := []string{}
 	for _, g := range groups {
 		if g.AlwaysSaved {
 			out = append(out, g)
@@ -557,12 +557,19 @@ func coarsenToLayers(groups []recompute.Group) []recompute.Group {
 		if !ok {
 			m = &recompute.Group{Key: kind + "/whole-layer", Count: g.Count}
 			merged[kind] = m
-			order = append(order, kind)
 		}
 		m.FwdTime += g.FwdTime
 		m.Bytes += g.Bytes
 	}
-	for _, kind := range order {
+	// Emit the merged groups in sorted key order: ranging over the map
+	// directly would let Go's randomized iteration order leak into the
+	// knapsack input order and from there into serialized plans.
+	kinds := make([]string, 0, len(merged))
+	for kind := range merged {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
 		out = append(out, *merged[kind])
 	}
 	recompute.SortGroups(out)

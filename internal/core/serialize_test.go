@@ -63,6 +63,34 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPlanSerializationDeterministic pins the determinism contract the
+// maporder analyzer guards: two planners built from identical inputs must
+// produce byte-identical serialized plans, run to run, regardless of map
+// iteration order inside the solver.
+func TestPlanSerializationDeterministic(t *testing.T) {
+	a := plan(t, RecomputeAdaptive, PartitionAdaptive)
+	b := plan(t, RecomputeAdaptive, PartitionAdaptive)
+	dataA, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataB, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dataA) != string(dataB) {
+		t.Fatalf("identical Plan() calls serialized differently:\nfirst:  %s\nsecond: %s", dataA, dataB)
+	}
+	// Re-marshaling the same plan is also stable.
+	dataA2, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dataA) != string(dataA2) {
+		t.Fatal("re-serializing the same plan drifted")
+	}
+}
+
 func TestPlanJSONRejectsGarbage(t *testing.T) {
 	var p Plan
 	if err := json.Unmarshal([]byte(`{"recompute":"???","partition":"even","pp":1,"stages":[{}]}`), &p); err == nil {

@@ -41,9 +41,11 @@ func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
 			return states
 		}
 		// Sort by W then filter dominated states pairwise; with five
-		// dimensions a quadratic filter is fine at these sizes.
+		// dimensions a quadratic filter is fine at these sizes. Ties on W
+		// are epsilon-ties: summation order must not decide which state
+		// sorts (and so survives a trimmed frontier) first.
 		sort.Slice(states, func(a, b int) bool {
-			if states[a].W != states[b].W {
+			if !AlmostEq(states[a].W, states[b].W) {
 				return states[a].W < states[b].W
 			}
 			return states[a].E < states[b].E

@@ -213,6 +213,21 @@ func Even(L, p int) []int {
 	return bounds
 }
 
+// AlmostEq reports whether two modeled times/costs are equal up to the
+// relative tolerance the solvers treat as a tie. Modeled phase values are
+// sums of per-unit float64 terms, so two algebraically-equal expressions can
+// differ in the last bits depending on summation order; exact ==/!= on them
+// makes tie-breaking (and therefore the chosen plan) depend on incidental
+// evaluation order. The floatcmp analyzer points here.
+func AlmostEq(a, b float64) bool {
+	return math.Abs(a-b) <= almostEqTol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// almostEqTol is ~4 ulps at unit scale: far below any real cost difference
+// the models produce (microseconds on second-scale times), far above
+// summation-order noise.
+const almostEqTol = 1e-12
+
 func check(L, p, n int) error {
 	switch {
 	case L <= 0:

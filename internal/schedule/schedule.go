@@ -294,7 +294,27 @@ func (s *Schedule) Validate() error {
 			}
 		}
 	}
-	for k, c := range seen {
+	// Check in sorted key order so that, with several violations, the same
+	// one is reported on every run (map iteration order is randomized).
+	keys := make([]key, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.pipeline != b.pipeline {
+			return a.pipeline < b.pipeline
+		}
+		if a.stage != b.stage {
+			return a.stage < b.stage
+		}
+		if a.micro != b.micro {
+			return a.micro < b.micro
+		}
+		return a.kind < b.kind
+	})
+	for _, k := range keys {
+		c := seen[k]
 		if c != 1 {
 			return fmt.Errorf("schedule %s: %s of micro %d at stage %d (pipeline %d) appears %d times",
 				s.Name, k.kind, k.micro, k.stage, k.pipeline, c)
