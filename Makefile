@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin/adapipevet
 
-.PHONY: all build lint test race ci clean
+.PHONY: all build lint test race observe ci clean
 
 all: build
 
@@ -29,8 +29,14 @@ test:
 race:
 	$(GO) test -race ./internal/train/... ./internal/sim/...
 
+# observe runs the observability demo end to end: plan, execute with the op
+# recorder, simulate, and emit the drift report plus Chrome-trace/metrics
+# files under observe-out/. It fails if the drift report cannot be produced.
+observe:
+	$(GO) run ./examples/observe -dir observe-out
+
 # ci is the full gate the GitHub Actions workflow runs.
-ci: build lint test race
+ci: build lint test race observe
 
 clean:
-	rm -rf bin
+	rm -rf bin observe-out

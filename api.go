@@ -207,6 +207,9 @@ func Describe(p *Plan) string {
 		p.Model, p.Strategy, p.SeqLen, p.MicroBatches, p.Recompute, p.Partition)
 	fmt.Fprintf(&b, "modeled iteration %.3fs (warmup %.3fs, steady bottleneck %.4fs/micro, ending %.3fs)\n",
 		p.Total, p.W, p.M, p.E)
+	if p.Search.CostEvaluations > 0 {
+		fmt.Fprintf(&b, "search: %s\n", p.Search)
+	}
 	fmt.Fprintf(&b, "%-6s %-12s %-12s %-10s %-10s %-12s %-12s\n",
 		"stage", "layers", "saved units", "fwd (s)", "bwd (s)", "static", "peak")
 	for _, s := range p.Stages {

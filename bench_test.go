@@ -246,6 +246,7 @@ func BenchmarkSimulateChimera(b *testing.B) {
 // BenchmarkTrainStep times one real pipelined training iteration of the
 // micro-transformer (execution-engine substrate).
 func BenchmarkTrainStep(b *testing.B) {
+	b.ReportAllocs()
 	res, err := adapipe.Train(adapipe.TrainRunConfig{
 		Net:    adapipe.TrainConfig{Layers: 4, Dim: 64, Heads: 4, FFN: 128, Vocab: 64, Seq: 48, Seed: 1},
 		Bounds: []int{0, 5, 10},
@@ -262,6 +263,28 @@ func BenchmarkTrainStep(b *testing.B) {
 			Steps:  1, MicroBatches: 8, LR: 1e-3, DataSeed: 1,
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainStepRecorded is BenchmarkTrainStep with the op recorder
+// attached. Compare against BenchmarkTrainStep (same -benchmem run) to see
+// the recording overhead: the nil-recorder path must not allocate or read
+// clocks beyond the baseline.
+func BenchmarkTrainStepRecorded(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := adapipe.Train(adapipe.TrainRunConfig{
+			Net:    adapipe.TrainConfig{Layers: 4, Dim: 64, Heads: 4, FFN: 128, Vocab: 64, Seq: 48, Seed: 1},
+			Bounds: []int{0, 5, 10},
+			Steps:  1, MicroBatches: 8, LR: 1e-3, DataSeed: 1,
+			Record: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trace == nil {
+			b.Fatal("no trace recorded")
 		}
 	}
 }

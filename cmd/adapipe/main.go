@@ -34,6 +34,8 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "render the simulated timeline")
 		out       = flag.String("o", "", "write the plan as JSON to this file")
 		memcsv    = flag.String("memcsv", "", "write the per-device memory timeline as CSV to this file")
+		traceOut  = flag.String("trace", "", "write the simulated timeline as Chrome-trace JSON (chrome://tracing, Perfetto) to this file")
+		metrics   = flag.String("metrics", "", "write search and simulation metrics in Prometheus text format to this file")
 	)
 	flag.Parse()
 
@@ -124,6 +126,28 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote memory timeline to %s\n", *memcsv)
+	}
+	if *traceOut != "" {
+		res, err := adapipe.Simulate(o.Plan, meth.Schedule, true)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		data, err := adapipe.ChromeTrace(res)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+	}
+	if *metrics != "" {
+		ms := o.Plan.Search.PromMetrics("adapipe_search")
+		ms = append(ms, adapipe.SimMetrics("adapipe_sim", o.Sim)...)
+		if err := os.WriteFile(*metrics, []byte(adapipe.RenderProm(ms)), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metrics)
 	}
 }
 

@@ -1,0 +1,185 @@
+// observe demonstrates the observability layer end to end: it plans a tiny
+// model with the real two-level search, executes the plan on the pure-Go
+// 1F1B pipeline engine with the op recorder attached, renders the *measured*
+// timeline through the same Gantt/Chrome-trace renderers the simulator uses,
+// and aligns measured against predicted in a drift report.
+//
+// Outputs (under -dir):
+//
+//	measured.trace.json   Chrome-trace JSON of the measured run (load in
+//	                      chrome://tracing or https://ui.perfetto.dev)
+//	simulated.trace.json  Chrome-trace JSON of the simulated timeline
+//	drift.txt             predicted-vs-measured drift report
+//	metrics.prom          search + simulation + measured-run gauges in
+//	                      Prometheus text format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"adapipe"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "output directory for trace, drift and metrics files")
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		layers = 4
+		stages = 2
+		micros = 8
+		seq    = 48
+	)
+	// The same architecture described twice: once for the planner's
+	// analytical cost model, once for the trainable engine. BytesPerValue
+	// matches the engine's float64 tensors so measured and modeled
+	// activation footprints live on the same scale.
+	m := adapipe.Model{
+		Name: "observe-tiny", DecoderLayers: layers, Hidden: 64, Heads: 4,
+		KVHeads: 4, FFNHidden: 128, Vocab: 64, BytesPerValue: 8,
+	}
+	net := adapipe.TrainConfig{
+		Layers: layers, Dim: 64, Heads: 4, FFN: 128, Vocab: 64, Seq: seq, Seed: 7,
+	}
+	strat := adapipe.Strategy{TP: 1, PP: stages, DP: 1}
+	tc := adapipe.TrainingConfig{GlobalBatch: micros, MicroBatch: 1, SeqLen: seq}
+
+	// Size a toy device so adaptive recomputation is forced to choose:
+	// large enough that full recomputation fits, too small to save all.
+	capacity, err := toyCapacity(m, strat, tc, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := toyOptions()
+	planner, err := adapipe.NewPlanner(m, toyCluster(stages, capacity), strat, tc, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := planner.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(adapipe.Describe(plan))
+
+	// Execute the plan for real with the op recorder attached.
+	bounds, saves := adapipe.TrainSpecFromPlan(plan, m)
+	res, err := adapipe.Train(adapipe.TrainRunConfig{
+		Net: net, Bounds: bounds, Saves: saves,
+		Steps: 3, MicroBatches: micros, LR: 1e-3, DataSeed: 7,
+		Record: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Trace == nil {
+		log.Fatal("observe: training run returned no trace")
+	}
+	measured := res.Trace.Result()
+	fmt.Printf("\nmeasured final step: wall %.1fms, stall ratio %.3f\n",
+		res.Trace.WallTime*1e3, res.Trace.StallRatio())
+	fmt.Print(adapipe.Gantt(measured, stages, 100))
+
+	// Simulate the same plan and align the two timelines.
+	simulated, err := adapipe.SimulateWithOptions(plan, adapipe.Sched1F1B,
+		adapipe.SimOptions{Timeline: true, Memory: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	drift, err := adapipe.Compare(measured, simulated)
+	if err != nil {
+		log.Fatalf("observe: drift report unavailable: %v", err)
+	}
+	fmt.Printf("\n%s", drift.String())
+
+	writeFile(*dir, "drift.txt", []byte(drift.String()))
+	meastr, err := adapipe.ChromeTrace(measured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeFile(*dir, "measured.trace.json", meastr)
+	simtr, err := adapipe.ChromeTrace(simulated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeFile(*dir, "simulated.trace.json", simtr)
+
+	metrics := plan.Search.PromMetrics("adapipe_search")
+	metrics = append(metrics, adapipe.SimMetrics("adapipe_sim", simulated)...)
+	metrics = append(metrics, adapipe.TraceMetrics("adapipe_train", res.Trace)...)
+	metrics = append(metrics, adapipe.DriftMetrics("adapipe_drift", drift)...)
+	writeFile(*dir, "metrics.prom", []byte(adapipe.RenderProm(metrics)))
+}
+
+func writeFile(dir, name string, data []byte) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// toyCluster builds a single-node cluster of small synthetic accelerators;
+// the planner needs a hardware model even when the executor is the pure-Go
+// engine.
+func toyCluster(devices int, capacity int64) adapipe.Cluster {
+	return adapipe.Cluster{
+		Name: "toy",
+		Device: adapipe.Device{
+			Name:                "toy-accelerator",
+			PeakFLOPS:           10e12,
+			MemBandwidth:        500e9,
+			MemCapacity:         capacity,
+			GEMMEfficiency:      0.5,
+			AttnEfficiency:      0.4,
+			BandwidthEfficiency: 0.8,
+		},
+		DevicesPerNode:     devices,
+		Nodes:              1,
+		IntraNodeBandwidth: 50e9,
+		InterNodeBandwidth: 10e9,
+		LinkLatency:        2e-6,
+	}
+}
+
+// toyOptions scales the planner to megabyte-size models: the datacenter
+// framework overhead and reserve would swamp a toy.
+func toyOptions() adapipe.Options {
+	opts := adapipe.DefaultOptions()
+	opts.Memory.OverheadBytes = 16 << 20
+	opts.MemoryReserve = 0.05
+	opts.Quantum = 4096
+	return opts
+}
+
+// toyCapacity probes the no-recomputation memory footprint and returns a
+// device capacity where frac of the activation footprint fits.
+func toyCapacity(m adapipe.Model, strat adapipe.Strategy, tc adapipe.TrainingConfig, frac float64) (int64, error) {
+	opts := toyOptions()
+	opts.Recompute = adapipe.RecomputeNone
+	opts.Partition = adapipe.PartitionEven
+	opts.IgnoreMemoryLimit = true
+	probe, err := adapipe.NewPlanner(m, toyCluster(strat.PP, 1<<40), strat, tc, opts)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := probe.Plan()
+	if err != nil {
+		return 0, err
+	}
+	var capacity int64
+	for _, st := range plan.Stages {
+		c := st.Mem.Static() + int64(frac*float64(st.Mem.Activations()))
+		if c > capacity {
+			capacity = c
+		}
+	}
+	// Inflate so the intended headroom survives the adaptive reserve.
+	return int64(float64(capacity) / (1 - toyOptions().MemoryReserve) * 1.02), nil
+}

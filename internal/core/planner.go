@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"adapipe/internal/hardware"
 	"adapipe/internal/memory"
@@ -167,6 +168,10 @@ type Plan struct {
 	// CommFwd and CommBwd are the per-micro-batch stage-boundary transfer
 	// times the simulator charges.
 	CommFwd, CommBwd float64
+	// Search is a snapshot of the planner's search-effort counters at the
+	// time this plan was produced. Excluded from plan serialization (it
+	// carries wall-clock time, which is not deterministic).
+	Search SearchStats
 }
 
 // Fwd returns the per-stage forward times.
@@ -221,12 +226,9 @@ type Planner struct {
 	n      int
 
 	cache map[costKey]stageCost
-	// Stats counts knapsack solves for the ablation benchmarks.
-	Stats struct {
-		KnapsackRuns    int
-		CacheHits       int
-		CostEvaluations int
-	}
+	// Stats accumulates search-effort counters across Plan calls (the cost
+	// cache persists, so the counters do too); each Plan carries a snapshot.
+	Stats SearchStats
 }
 
 type costKey struct {
@@ -424,6 +426,9 @@ func (pl *Planner) solveStage(s, i, j int) stageCost {
 			Quantum:    pl.quantumFor(perMicro),
 			DisableGCD: pl.opts.DisableGCD,
 		})
+		pl.Stats.KnapsackCells += sol.DPCells
+		pl.Stats.QuantaBeforeGCD += sol.QuantaBeforeGCD
+		pl.Stats.QuantaAfterGCD += sol.QuantaAfterGCD
 		if !sol.Feasible {
 			return stageCost{sol: sol, ok: false}
 		}
@@ -453,6 +458,7 @@ func (pl *Planner) quantumFor(budget int64) int64 {
 
 // Plan runs the configured search and assembles the plan.
 func (pl *Planner) Plan() (*Plan, error) {
+	searchStart := time.Now()
 	L := len(pl.layers)
 	p := pl.strat.PP
 	cost := func(s, i, j int) (float64, float64, bool) {
@@ -474,6 +480,8 @@ func (pl *Planner) Plan() (*Plan, error) {
 		}
 		bounds = sol.Bounds
 		total, w, e, m = sol.Total, sol.W, sol.E, sol.M
+		pl.Stats.PartitionCells += sol.DPCells
+		pl.Stats.FrontierStates += sol.FrontierStates
 	case PartitionEven:
 		bounds = partition.Even(L, p)
 		var ok bool
@@ -482,6 +490,7 @@ func (pl *Planner) Plan() (*Plan, error) {
 			return nil, fmt.Errorf("core: %s with even partitioning exceeds the %s memory capacity (OOM)",
 				pl.opts.Recompute, pl.cluster.Device.Name)
 		}
+		pl.Stats.PartitionCells += p
 	default:
 		sol, err := partition.Solve(L, p, pl.n, cost)
 		if err != nil {
@@ -489,6 +498,7 @@ func (pl *Planner) Plan() (*Plan, error) {
 		}
 		bounds = sol.Bounds
 		total, w, e, m = sol.Total, sol.W, sol.E, sol.M
+		pl.Stats.PartitionCells += sol.DPCells
 	}
 
 	plan := &Plan{
@@ -519,6 +529,8 @@ func (pl *Planner) Plan() (*Plan, error) {
 			Mem:       c.mem,
 		})
 	}
+	pl.Stats.SearchWall += time.Since(searchStart)
+	plan.Search = pl.Stats
 	return plan, nil
 }
 

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"adapipe/internal/obs"
+)
+
+// SearchStats counts the work of the two-level DP search: how many knapsacks
+// ran, how well the §5.3 isomorphic-range cache and GCD reduction performed,
+// how many DP cells each level touched, and the search wall time. The
+// planner accumulates them across Plan calls (the cost cache persists), and
+// each produced Plan carries a snapshot — the planner-side telemetry of the
+// observability layer.
+type SearchStats struct {
+	// KnapsackRuns is the number of §4 recomputation DPs actually solved.
+	KnapsackRuns int
+	// CacheHits counts stage-cost lookups served by the isomorphic-range
+	// cache instead of a fresh solve.
+	CacheHits int
+	// CostEvaluations counts all stage-cost lookups (hits + misses).
+	CostEvaluations int
+	// KnapsackCells is the total knapsack DP table size filled across all
+	// runs (pseudo-items × capacity states).
+	KnapsackCells int64
+	// QuantaBeforeGCD and QuantaAfterGCD sum the knapsack capacities in
+	// rounding quanta before and after the §5.3 GCD reduction; their ratio
+	// is the average capacity shrink the reduction bought.
+	QuantaBeforeGCD, QuantaAfterGCD int64
+	// PartitionCells counts the (stage, start, end) cells Algorithm 1 (or
+	// its exact variant) evaluated.
+	PartitionCells int
+	// FrontierStates is the total Pareto-frontier size across cells
+	// (PartitionExact only).
+	FrontierStates int
+	// SearchWall is the wall-clock time spent inside Plan. It is
+	// deliberately excluded from plan serialization: plans must stay
+	// byte-identical across runs.
+	SearchWall time.Duration
+}
+
+// CacheHitRate returns the fraction of stage-cost lookups the isomorphism
+// cache served, in [0, 1].
+func (s SearchStats) CacheHitRate() float64 {
+	if s.CostEvaluations == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CostEvaluations)
+}
+
+// GCDReduction returns the average factor by which the §5.3 GCD reduction
+// shrank the knapsack capacity (1 means no reduction or no DP run).
+func (s SearchStats) GCDReduction() float64 {
+	if s.QuantaAfterGCD == 0 {
+		return 1
+	}
+	return float64(s.QuantaBeforeGCD) / float64(s.QuantaAfterGCD)
+}
+
+// String renders the counters as the one-line summary Describe prints.
+func (s SearchStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d cost evals (%d knapsacks, %.0f%% iso-cache hits), %d knapsack cells, GCD reduction %.1fx, %d partition cells",
+		s.CostEvaluations, s.KnapsackRuns, 100*s.CacheHitRate(), s.KnapsackCells, s.GCDReduction(), s.PartitionCells)
+	if s.FrontierStates > 0 {
+		fmt.Fprintf(&b, ", %d frontier states", s.FrontierStates)
+	}
+	if s.SearchWall > 0 {
+		fmt.Fprintf(&b, ", wall %s", s.SearchWall.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// PromMetrics converts the counters into Prometheus-style gauges under the
+// given name prefix.
+func (s SearchStats) PromMetrics(prefix string) []obs.Metric {
+	return []obs.Metric{
+		{Name: prefix + "_knapsack_runs", Help: "recomputation DPs solved", Value: float64(s.KnapsackRuns)},
+		{Name: prefix + "_cache_hits", Help: "stage-cost lookups served by the isomorphic-range cache", Value: float64(s.CacheHits)},
+		{Name: prefix + "_cache_hit_rate", Help: "fraction of stage-cost lookups served from cache", Value: s.CacheHitRate()},
+		{Name: prefix + "_cost_evaluations", Help: "total stage-cost lookups", Value: float64(s.CostEvaluations)},
+		{Name: prefix + "_knapsack_cells", Help: "knapsack DP cells filled across all runs", Value: float64(s.KnapsackCells)},
+		{Name: prefix + "_gcd_reduction", Help: "average knapsack capacity shrink from the GCD reduction", Value: s.GCDReduction()},
+		{Name: prefix + "_partition_cells", Help: "partitioning DP cells evaluated", Value: float64(s.PartitionCells)},
+		{Name: prefix + "_frontier_states", Help: "Pareto states kept (exact partitioning only)", Value: float64(s.FrontierStates)},
+		{Name: prefix + "_wall_seconds", Help: "search wall-clock seconds", Value: s.SearchWall.Seconds()},
+	}
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"adapipe/internal/schedule"
+	"adapipe/internal/sim"
+)
+
+// StageDrift is the measured-vs-modeled error of one pipeline stage.
+type StageDrift struct {
+	// Stage is the stage index.
+	Stage int
+	// MeasFwd and MeasBwd are the measured mean per-micro-batch forward and
+	// backward times in seconds.
+	MeasFwd, MeasBwd float64
+	// SimFwd and SimBwd are the simulated counterparts, rescaled by the
+	// report's TimeScale so substitute hardware compares on shape rather
+	// than absolute device speed.
+	SimFwd, SimBwd float64
+	// FwdErr and BwdErr are the relative errors (meas−sim)/sim of the
+	// rescaled times.
+	FwdErr, BwdErr float64
+	// MeasPeak and SimPeak are the per-stage peak memory figures of the two
+	// results, in bytes, as provided by the caller (for a measured engine
+	// trace: live activation bytes).
+	MeasPeak, SimPeak int64
+	// PeakErr is the relative peak-memory error (meas−sim)/sim.
+	PeakErr float64
+	// MeasStall is the measured per-stage bubble time (idle seconds);
+	// SimBubble the simulated one, rescaled by TimeScale.
+	MeasStall, SimBubble float64
+}
+
+// Drift is a predicted-vs-measured report: how far a measured pipeline
+// iteration deviates from the discrete-event simulation of the same plan.
+//
+// The engine runs on substitute hardware (Go tensor math on CPU), so raw
+// modeled times are on a different scale than measured ones. TimeScale — the
+// ratio of total measured to total simulated busy time — is factored out
+// before per-stage errors are computed: what remains is drift in the *shape*
+// of the schedule (stage balance, bubble anatomy), which is what the
+// partitioning and recomputation decisions were optimized against.
+type Drift struct {
+	// TimeScale is Σ measured busy / Σ simulated busy; simulated times are
+	// multiplied by it before errors are taken.
+	TimeScale float64
+	// MeasIter and SimIter are the makespans (SimIter rescaled).
+	MeasIter, SimIter float64
+	// IterErr is the relative makespan error after rescaling.
+	IterErr float64
+	// MeasBubbleFrac and SimBubbleFrac are the bubble ratios (idle share of
+	// total device time); scale-free, so compared directly.
+	MeasBubbleFrac, SimBubbleFrac float64
+	// BubbleErr is the absolute bubble-fraction difference.
+	BubbleErr float64
+	// Stages holds one entry per pipeline stage.
+	Stages []StageDrift
+}
+
+// MaxAbsTimeErr returns the largest per-stage |FwdErr| or |BwdErr|.
+func (d Drift) MaxAbsTimeErr() float64 {
+	var m float64
+	for _, s := range d.Stages {
+		if v := math.Abs(s.FwdErr); v > m {
+			m = v
+		}
+		if v := math.Abs(s.BwdErr); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Compare aligns a measured trace (as a sim.Result, e.g. Trace.Result())
+// against the simulated timeline of the same plan and reports per-stage
+// forward/backward time error, bubble-fraction error and peak-memory error.
+// Both results must carry captured timelines over the same device count.
+func Compare(meas, simulated sim.Result) (Drift, error) {
+	if len(meas.Timeline) == 0 {
+		return Drift{}, fmt.Errorf("obs: measured result has no timeline (was the recorder attached?)")
+	}
+	if len(simulated.Timeline) == 0 {
+		return Drift{}, fmt.Errorf("obs: simulated result has no timeline (simulate with CaptureTimeline)")
+	}
+	if len(meas.Busy) != len(simulated.Busy) {
+		return Drift{}, fmt.Errorf("obs: device counts differ: measured %d, simulated %d",
+			len(meas.Busy), len(simulated.Busy))
+	}
+	mFwd, mBwd, err := phaseMeans(meas)
+	if err != nil {
+		return Drift{}, fmt.Errorf("obs: measured: %w", err)
+	}
+	sFwd, sBwd, err := phaseMeans(simulated)
+	if err != nil {
+		return Drift{}, fmt.Errorf("obs: simulated: %w", err)
+	}
+	if len(mFwd) != len(sFwd) {
+		return Drift{}, fmt.Errorf("obs: stage counts differ: measured %d, simulated %d", len(mFwd), len(sFwd))
+	}
+
+	var measBusy, simBusy float64
+	for i := range meas.Busy {
+		measBusy += meas.Busy[i]
+		simBusy += simulated.Busy[i]
+	}
+	if simBusy <= 0 || measBusy <= 0 {
+		return Drift{}, fmt.Errorf("obs: degenerate busy totals (measured %g, simulated %g)", measBusy, simBusy)
+	}
+	scale := measBusy / simBusy
+
+	d := Drift{
+		TimeScale:      scale,
+		MeasIter:       meas.IterTime,
+		SimIter:        simulated.IterTime * scale,
+		MeasBubbleFrac: meas.BubbleRatio(),
+		SimBubbleFrac:  simulated.BubbleRatio(),
+	}
+	d.IterErr = relErr(d.MeasIter, d.SimIter)
+	d.BubbleErr = math.Abs(d.MeasBubbleFrac - d.SimBubbleFrac)
+	for s := range mFwd {
+		sd := StageDrift{
+			Stage:   s,
+			MeasFwd: mFwd[s], MeasBwd: mBwd[s],
+			SimFwd: sFwd[s] * scale, SimBwd: sBwd[s] * scale,
+		}
+		sd.FwdErr = relErr(sd.MeasFwd, sd.SimFwd)
+		sd.BwdErr = relErr(sd.MeasBwd, sd.SimBwd)
+		measPeak, mok := activationPeak(meas, s)
+		simPeak, sok := activationPeak(simulated, s)
+		if mok && sok {
+			sd.MeasPeak, sd.SimPeak = measPeak, simPeak
+			sd.PeakErr = relErr(float64(sd.MeasPeak), float64(sd.SimPeak))
+		}
+		if s < len(meas.Bubble) {
+			sd.MeasStall = meas.Bubble[s]
+		}
+		if s < len(simulated.Bubble) {
+			sd.SimBubble = simulated.Bubble[s] * scale
+		}
+		d.Stages = append(d.Stages, sd)
+	}
+	return d, nil
+}
+
+// phaseMeans extracts per-stage mean forward/backward seconds per micro-batch
+// from a captured timeline.
+func phaseMeans(res sim.Result) (fwd, bwd []float64, err error) {
+	maxStage := -1
+	for _, ev := range res.Timeline {
+		if ev.Op.Stage > maxStage {
+			maxStage = ev.Op.Stage
+		}
+	}
+	if maxStage < 0 {
+		return nil, nil, fmt.Errorf("empty timeline")
+	}
+	p := maxStage + 1
+	fwd = make([]float64, p)
+	bwd = make([]float64, p)
+	fwdN := make([]float64, p)
+	bwdN := make([]float64, p)
+	for _, ev := range res.Timeline {
+		dur := ev.End - ev.Start
+		micros := float64(len(ev.Op.Micros))
+		if micros <= 0 {
+			return nil, nil, fmt.Errorf("op with no micro-batches at stage %d", ev.Op.Stage)
+		}
+		if ev.Op.Kind == schedule.Forward {
+			fwd[ev.Op.Stage] += dur
+			fwdN[ev.Op.Stage] += micros
+		} else {
+			bwd[ev.Op.Stage] += dur
+			bwdN[ev.Op.Stage] += micros
+		}
+	}
+	for s := 0; s < p; s++ {
+		if fwdN[s] <= 0 || bwdN[s] <= 0 {
+			return nil, nil, fmt.Errorf("stage %d has no forward or no backward ops", s)
+		}
+		fwd[s] /= fwdN[s]
+		bwd[s] /= bwdN[s]
+	}
+	return fwd, bwd, nil
+}
+
+// activationPeak extracts a device's peak memory above its curve baseline.
+// The engine measures live activation bytes only, while the simulator's
+// PeakMem includes the modeled static (parameter/optimizer/overhead) part;
+// each side's memory curve starts at its own baseline (0 for measured,
+// static for simulated), so peak-above-first-point puts both on the
+// activation scale. Without a captured curve the raw PeakMem is used.
+func activationPeak(res sim.Result, d int) (int64, bool) {
+	if d < len(res.MemTimeline) && len(res.MemTimeline[d]) > 0 {
+		base := res.MemTimeline[d][0].Bytes
+		var peak int64
+		for _, pt := range res.MemTimeline[d] {
+			if pt.Bytes-base > peak {
+				peak = pt.Bytes - base
+			}
+		}
+		return peak, true
+	}
+	if d < len(res.PeakMem) {
+		return res.PeakMem[d], true
+	}
+	return 0, false
+}
+
+// relErr is (meas−ref)/ref, with a zero reference reported as ±Inf (or 0
+// when both are zero).
+func relErr(meas, ref float64) float64 {
+	if ref == 0 {
+		if meas == 0 {
+			return 0
+		}
+		return math.Inf(int(math.Copysign(1, meas)))
+	}
+	return (meas - ref) / ref
+}
+
+// String renders the drift report as a human-readable table.
+func (d Drift) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "drift report (simulated times rescaled by measured/simulated busy ratio %.3g)\n", d.TimeScale)
+	fmt.Fprintf(&b, "iteration: measured %.6fs vs simulated %.6fs (%+.1f%%)\n",
+		d.MeasIter, d.SimIter, 100*d.IterErr)
+	fmt.Fprintf(&b, "bubble fraction: measured %.3f vs simulated %.3f (|Δ| %.3f)\n",
+		d.MeasBubbleFrac, d.SimBubbleFrac, d.BubbleErr)
+	fmt.Fprintf(&b, "%-6s %-22s %-22s %-22s\n", "stage", "fwd meas/sim (err)", "bwd meas/sim (err)", "peak meas/sim (err)")
+	for _, s := range d.Stages {
+		fmt.Fprintf(&b, "%-6d %9.6f/%-9.6f %+4.0f%% %9.6f/%-9.6f %+4.0f%% %8.2f/%-8.2f MiB %+4.0f%%\n",
+			s.Stage,
+			s.MeasFwd, s.SimFwd, 100*s.FwdErr,
+			s.MeasBwd, s.SimBwd, 100*s.BwdErr,
+			mib(s.MeasPeak), mib(s.SimPeak), 100*s.PeakErr)
+	}
+	return b.String()
+}
+
+func mib(b int64) float64 { return float64(b) / float64(1<<20) }

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"adapipe/internal/schedule"
+	"adapipe/internal/sim"
+)
+
+// synthetic builds a 2-stage, 2-micro captured result with uniform per-micro
+// forward/backward times scaled by unit.
+func synthetic(unit float64) sim.Result {
+	op := func(kind schedule.Kind, stage, micro int) schedule.Op {
+		return schedule.Op{Kind: kind, Stage: stage, Micros: []int{micro}}
+	}
+	f, b := unit, 2*unit
+	events := []sim.Event{
+		{Device: 0, Op: op(schedule.Forward, 0, 0), Start: 0, End: f},
+		{Device: 0, Op: op(schedule.Forward, 0, 1), Start: f, End: 2 * f},
+		{Device: 1, Op: op(schedule.Forward, 1, 0), Start: f, End: 2 * f},
+		{Device: 1, Op: op(schedule.Backward, 1, 0), Start: 2 * f, End: 2*f + b},
+		{Device: 1, Op: op(schedule.Forward, 1, 1), Start: 2*f + b, End: 3*f + b},
+		{Device: 1, Op: op(schedule.Backward, 1, 1), Start: 3*f + b, End: 3*f + 2*b},
+		{Device: 0, Op: op(schedule.Backward, 0, 0), Start: 2*f + b, End: 2*f + 2*b},
+		{Device: 0, Op: op(schedule.Backward, 0, 1), Start: 3*f + 2*b, End: 3*f + 3*b},
+	}
+	iter := 3*f + 3*b
+	busy := []float64{2*f + 2*b, 2*f + 2*b}
+	return sim.Result{
+		IterTime: iter,
+		Busy:     busy,
+		Bubble:   []float64{iter - busy[0], iter - busy[1]},
+		PeakMem:  []int64{100, 50},
+		Timeline: events,
+	}
+}
+
+func TestCompareScaleInvariant(t *testing.T) {
+	// A measured run that is an exact 1000x-slower replica of the simulation
+	// must report (near-)zero drift everywhere: the time scale soaks up the
+	// hardware difference.
+	meas := synthetic(1e-3)
+	simr := synthetic(1e-6)
+	d, err := Compare(meas, simr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.TimeScale-1000) > 1e-6 {
+		t.Errorf("TimeScale = %g, want 1000", d.TimeScale)
+	}
+	if math.Abs(d.IterErr) > 1e-9 {
+		t.Errorf("IterErr = %g, want 0", d.IterErr)
+	}
+	if d.BubbleErr > 1e-9 {
+		t.Errorf("BubbleErr = %g, want 0", d.BubbleErr)
+	}
+	if len(d.Stages) != 2 {
+		t.Fatalf("%d stage rows, want 2", len(d.Stages))
+	}
+	for _, s := range d.Stages {
+		if math.Abs(s.FwdErr) > 1e-9 || math.Abs(s.BwdErr) > 1e-9 {
+			t.Errorf("stage %d errors fwd %g bwd %g, want 0", s.Stage, s.FwdErr, s.BwdErr)
+		}
+		if math.Abs(s.PeakErr) > 1e-9 {
+			t.Errorf("stage %d peak error %g, want 0", s.Stage, s.PeakErr)
+		}
+	}
+	if d.MaxAbsTimeErr() > 1e-9 {
+		t.Errorf("MaxAbsTimeErr = %g", d.MaxAbsTimeErr())
+	}
+	if out := d.String(); !strings.Contains(out, "drift report") || !strings.Contains(out, "stage") {
+		t.Errorf("report rendering malformed:\n%s", out)
+	}
+}
+
+func TestCompareDetectsSkew(t *testing.T) {
+	// Stretch the measured backward times by 50%; the report must attribute
+	// the drift to backward, not forward.
+	meas := synthetic(1e-3)
+	for i := range meas.Timeline {
+		ev := &meas.Timeline[i]
+		if ev.Op.Kind == schedule.Backward {
+			ev.End = ev.Start + (ev.End-ev.Start)*1.5
+		}
+	}
+	d, err := Compare(meas, synthetic(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range d.Stages {
+		if s.BwdErr <= s.FwdErr {
+			t.Errorf("stage %d: bwd error %g not above fwd error %g", s.Stage, s.BwdErr, s.FwdErr)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	good := synthetic(1)
+	if _, err := Compare(sim.Result{}, good); err == nil {
+		t.Error("empty measured timeline accepted")
+	}
+	if _, err := Compare(good, sim.Result{}); err == nil {
+		t.Error("empty simulated timeline accepted")
+	}
+	mismatch := synthetic(1)
+	mismatch.Busy = mismatch.Busy[:1]
+	if _, err := Compare(mismatch, good); err == nil {
+		t.Error("device-count mismatch accepted")
+	}
+	degenerate := synthetic(1)
+	degenerate.Busy = []float64{0, 0}
+	if _, err := Compare(degenerate, good); err == nil {
+		t.Error("degenerate busy totals accepted")
+	}
+}
+
+func TestActivationPeakBaseline(t *testing.T) {
+	// With a captured memory curve, the peak is measured above the curve's
+	// first point, so the simulator's static baseline drops out.
+	res := sim.Result{
+		PeakMem: []int64{1000},
+		MemTimeline: [][]sim.MemPoint{
+			{{Time: 0, Bytes: 800}, {Time: 1, Bytes: 1000}, {Time: 2, Bytes: 850}},
+		},
+	}
+	if pk, ok := activationPeak(res, 0); !ok || pk != 200 {
+		t.Errorf("activationPeak = %d, %v; want 200, true", pk, ok)
+	}
+	// Without a curve it falls back to the raw PeakMem.
+	res.MemTimeline = nil
+	if pk, ok := activationPeak(res, 0); !ok || pk != 1000 {
+		t.Errorf("fallback activationPeak = %d, %v; want 1000, true", pk, ok)
+	}
+	if _, ok := activationPeak(res, 5); ok {
+		t.Error("out-of-range device reported a peak")
+	}
+}

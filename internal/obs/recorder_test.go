@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"adapipe/internal/schedule"
+)
+
+func TestRecorderAssemblesTrace(t *testing.T) {
+	r := NewRecorder()
+	r.Reset(2)
+	base := r.start
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	fwd := func(stage, micro int) schedule.Op {
+		return schedule.Op{Kind: schedule.Forward, Stage: stage, Micros: []int{micro}}
+	}
+	bwd := func(stage, micro int) schedule.Op {
+		return schedule.Op{Kind: schedule.Backward, Stage: stage, Micros: []int{micro}}
+	}
+	// Stage 0: compute [0,10] then [30,50]; stage 1 waits 10ms then [10,25].
+	r.Stage(0).Record(fwd(0, 0), at(0), at(10), 0, 64)
+	r.Stage(0).Record(bwd(0, 0), at(30), at(50), 20*time.Millisecond, 0)
+	r.Stage(1).Record(fwd(1, 0), at(10), at(25), 10*time.Millisecond, 32)
+
+	tr := r.Trace()
+	if len(tr.Spans) != 3 {
+		t.Fatalf("%d spans, want 3", len(tr.Spans))
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-6 }
+	if !approx(tr.WallTime, 0.050) {
+		t.Errorf("WallTime = %g, want 0.050", tr.WallTime)
+	}
+	if !approx(tr.Busy[0], 0.030) || !approx(tr.Busy[1], 0.015) {
+		t.Errorf("Busy = %v, want [0.030 0.015]", tr.Busy)
+	}
+	if !approx(tr.Stall[0], 0.020) || !approx(tr.Stall[1], 0.010) {
+		t.Errorf("Stall = %v, want [0.020 0.010]", tr.Stall)
+	}
+	if tr.PeakBytes[0] != 64 || tr.PeakBytes[1] != 32 {
+		t.Errorf("PeakBytes = %v, want [64 32]", tr.PeakBytes)
+	}
+	// Spans sort by (Start, Stage).
+	if tr.Spans[0].Stage != 0 || tr.Spans[1].Stage != 1 || tr.Spans[2].Stage != 0 {
+		t.Errorf("span order wrong: %+v", tr.Spans)
+	}
+	// Memory curves start at a zero baseline and track LiveBytes.
+	if len(tr.MemCurve[0]) != 3 || tr.MemCurve[0][0].Bytes != 0 || tr.MemCurve[0][1].Bytes != 64 {
+		t.Errorf("stage 0 mem curve = %v", tr.MemCurve[0])
+	}
+
+	// StallRatio = total stall / (wall × stages).
+	if got, want := tr.StallRatio(), 0.030/(0.050*2); !approx(got, want) {
+		t.Errorf("StallRatio = %g, want %g", got, want)
+	}
+
+	// Conversion to sim.Result keeps totals and computes per-stage bubbles.
+	res := tr.Result()
+	if !approx(res.IterTime, 0.050) {
+		t.Errorf("IterTime = %g", res.IterTime)
+	}
+	if !approx(res.Bubble[0], 0.020) || !approx(res.Bubble[1], 0.035) {
+		t.Errorf("Bubble = %v, want [0.020 0.035]", res.Bubble)
+	}
+	// Stage 0: mean fwd 10ms + mean bwd 20ms; stage 1 fwd only.
+	if !approx(res.MicroStep[0], 0.030) || !approx(res.MicroStep[1], 0.015) {
+		t.Errorf("MicroStep = %v", res.MicroStep)
+	}
+	if len(res.Timeline) != 3 || len(res.MemTimeline) != 2 {
+		t.Errorf("timeline %d events, mem %d devices", len(res.Timeline), len(res.MemTimeline))
+	}
+}
+
+func TestRecorderResetDiscards(t *testing.T) {
+	r := NewRecorder()
+	r.Reset(1)
+	r.Stage(0).Record(schedule.Op{Kind: schedule.Forward, Micros: []int{0}},
+		r.start, r.start.Add(time.Millisecond), 0, 8)
+	r.Reset(1)
+	if tr := r.Trace(); len(tr.Spans) != 0 {
+		t.Errorf("Reset kept %d spans", len(tr.Spans))
+	}
+}

@@ -35,6 +35,7 @@ func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
 		frontiers[s] = make([][]state, L)
 	}
 	exact := true
+	cells := 0
 
 	prune := func(states []state, s int) []state {
 		if len(states) <= 1 {
@@ -77,6 +78,7 @@ func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
 	}
 
 	for i := 0; i < L; i++ {
+		cells++
 		f, b, ok := cost(p-1, i, L-1)
 		if !ok {
 			continue
@@ -91,6 +93,7 @@ func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
 				if len(nextStates) == 0 {
 					continue
 				}
+				cells++
 				f, b, ok := cost(s, i, j)
 				if !ok {
 					continue
@@ -121,14 +124,22 @@ func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
 			bestT, bestIdx = t, idx
 		}
 	}
+	frontierStates := 0
+	for s := range frontiers {
+		for i := range frontiers[s] {
+			frontierStates += len(frontiers[s][i])
+		}
+	}
 	plan := Plan{
-		Bounds: make([]int, p+1),
-		Total:  bestT,
-		W:      root[bestIdx].W,
-		E:      root[bestIdx].E,
-		M:      root[bestIdx].M,
-		Fwd:    make([]float64, p),
-		Bwd:    make([]float64, p),
+		Bounds:         make([]int, p+1),
+		Total:          bestT,
+		W:              root[bestIdx].W,
+		E:              root[bestIdx].E,
+		M:              root[bestIdx].M,
+		Fwd:            make([]float64, p),
+		Bwd:            make([]float64, p),
+		DPCells:        cells,
+		FrontierStates: frontierStates,
 	}
 	at, idx := 0, bestIdx
 	for s := 0; s < p; s++ {

@@ -49,6 +49,12 @@ type Plan struct {
 	W, E, M float64
 	// Fwd and Bwd are the per-stage forward/backward times.
 	Fwd, Bwd []float64
+	// DPCells counts the (stage, start, end) cost evaluations the DP
+	// performed — the search-effort figure the observability layer reports.
+	DPCells int
+	// FrontierStates is the total number of Pareto states kept across all
+	// DP cells; nonzero only for SolveExact.
+	FrontierStates int
 }
 
 // StageLayers returns the half-open layer range [lo, hi) of stage s.
@@ -67,8 +73,10 @@ func Solve(L, p, n int, cost CostFn) (Plan, error) {
 		P[s] = make([]State, L)
 	}
 
+	cells := 0
 	// Base case: the last stage takes everything that remains.
 	for i := 0; i < L; i++ {
+		cells++
 		f, b, ok := cost(p-1, i, L-1)
 		if !ok {
 			continue
@@ -91,6 +99,7 @@ func Solve(L, p, n int, cost CostFn) (Plan, error) {
 				if !next.OK {
 					continue
 				}
+				cells++
 				f, b, ok := cost(s, i, j)
 				if !ok {
 					continue
@@ -111,7 +120,7 @@ func Solve(L, p, n int, cost CostFn) (Plan, error) {
 	if !root.OK {
 		return Plan{}, fmt.Errorf("partition: no memory-feasible partitioning of %d layers into %d stages", L, p)
 	}
-	plan := Plan{Bounds: make([]int, p+1), Total: root.T, W: root.W, E: root.E, M: root.M}
+	plan := Plan{Bounds: make([]int, p+1), Total: root.T, W: root.W, E: root.E, M: root.M, DPCells: cells}
 	plan.Fwd = make([]float64, p)
 	plan.Bwd = make([]float64, p)
 	at := 0

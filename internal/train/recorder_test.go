@@ -1,0 +1,135 @@
+package train
+
+import (
+	"testing"
+
+	"adapipe/internal/schedule"
+)
+
+// TestRecorderCapturesPipeline attaches the op recorder to the same 4-stage ×
+// 8-micro-batch run the race stress test uses and checks the measured trace's
+// structural invariants. Run with `go test -race` (the CI race target) to
+// verify the recording path itself is race-free.
+func TestRecorderCapturesPipeline(t *testing.T) {
+	const stages, micros = 4, 8
+	rc := RunConfig{
+		Net:          Config{Layers: 3, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: 12, Seed: 11},
+		Bounds:       []int{0, 2, 4, 6, 8},
+		Steps:        2,
+		MicroBatches: micros,
+		LR:           1e-3,
+		DataSeed:     13,
+		Record:       true,
+	}
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("Record was set but RunResult.Trace is nil")
+	}
+
+	// Every op of the schedule appears exactly once: one forward and one
+	// backward per (stage, micro-batch).
+	if want := 2 * stages * micros; len(tr.Spans) != want {
+		t.Fatalf("got %d spans, want %d", len(tr.Spans), want)
+	}
+	perStage := make([]int, stages)
+	fwdSeen := make([]map[int]bool, stages)
+	bwdSeen := make([]map[int]bool, stages)
+	for s := range fwdSeen {
+		fwdSeen[s] = make(map[int]bool)
+		bwdSeen[s] = make(map[int]bool)
+	}
+	for _, sp := range tr.Spans {
+		if sp.Stage < 0 || sp.Stage >= stages {
+			t.Fatalf("span with out-of-range stage %d", sp.Stage)
+		}
+		perStage[sp.Stage]++
+		m := sp.Op.Micros[0]
+		if sp.Op.Kind == schedule.Forward {
+			fwdSeen[sp.Stage][m] = true
+		} else {
+			bwdSeen[sp.Stage][m] = true
+		}
+	}
+	for s := 0; s < stages; s++ {
+		if perStage[s] != 2*micros {
+			t.Errorf("stage %d has %d spans, want %d", s, perStage[s], 2*micros)
+		}
+		if len(fwdSeen[s]) != micros || len(bwdSeen[s]) != micros {
+			t.Errorf("stage %d covers %d fwd / %d bwd micros, want %d each",
+				s, len(fwdSeen[s]), len(bwdSeen[s]), micros)
+		}
+	}
+
+	// A stage goroutine executes its ops serially, so per-device compute
+	// spans must be monotone and non-overlapping.
+	lastEnd := make([]float64, stages)
+	for _, sp := range tr.Spans { // Spans are sorted by (Start, Stage)
+		if sp.End < sp.Start {
+			t.Fatalf("stage %d span ends before it starts: [%g, %g]", sp.Stage, sp.Start, sp.End)
+		}
+		if sp.Start < lastEnd[sp.Stage] {
+			t.Errorf("stage %d spans overlap: start %g < previous end %g",
+				sp.Stage, sp.Start, lastEnd[sp.Stage])
+		}
+		lastEnd[sp.Stage] = sp.End
+	}
+
+	// Compute + stall partition each stage's wall time: the goroutine is
+	// either computing or blocked on a channel. The residue (span bookkeeping,
+	// scheduler delays) must stay small, but CI machines are noisy — only the
+	// structural bound (busy+stall ≤ wall) is tight.
+	if tr.WallTime <= 0 {
+		t.Fatalf("non-positive wall time %g", tr.WallTime)
+	}
+	for s := 0; s < stages; s++ {
+		busyStall := tr.Busy[s] + tr.Stall[s]
+		if busyStall > tr.WallTime*1.001 {
+			t.Errorf("stage %d busy+stall %g exceeds wall %g", s, busyStall, tr.WallTime)
+		}
+		if busyStall < tr.WallTime*0.25 {
+			t.Errorf("stage %d busy+stall %g is under 25%% of wall %g — instrumentation lost time",
+				s, busyStall, tr.WallTime)
+		}
+		if tr.PeakBytes[s] <= 0 {
+			t.Errorf("stage %d recorded no live activation bytes", s)
+		}
+	}
+
+	// The conversion to sim.Result preserves the span population and renders
+	// through the existing tooling.
+	simRes := tr.Result()
+	if len(simRes.Timeline) != len(tr.Spans) {
+		t.Fatalf("Result timeline has %d events, want %d", len(simRes.Timeline), len(tr.Spans))
+	}
+	if len(simRes.Busy) != stages || len(simRes.Bubble) != stages {
+		t.Fatalf("Result device arrays sized %d/%d, want %d", len(simRes.Busy), len(simRes.Bubble), stages)
+	}
+	for s := 0; s < stages; s++ {
+		if simRes.Bubble[s] < 0 {
+			t.Errorf("stage %d negative bubble %g", s, simRes.Bubble[s])
+		}
+	}
+}
+
+// TestRecorderOffByDefault confirms a run without Record carries no trace and
+// the pipeline's recorder stays nil.
+func TestRecorderOffByDefault(t *testing.T) {
+	res, err := Run(RunConfig{
+		Net:          Config{Layers: 2, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: 12, Seed: 3},
+		Bounds:       []int{0, 3, 6},
+		Steps:        1,
+		MicroBatches: 4,
+		LR:           1e-3,
+		DataSeed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace captured without Record")
+	}
+}
