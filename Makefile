@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin/adapipevet
 
-.PHONY: all build lint test race observe ci clean
+.PHONY: all build lint test race observe chaos ci clean
 
 all: build
 
@@ -35,8 +35,19 @@ race:
 observe:
 	$(GO) run ./examples/observe -dir observe-out
 
+# chaos runs the fault-injection suite under the race detector across a fixed
+# seed matrix, then the end-to-end inject -> survive -> replan demo. The demo
+# exits non-zero unless the run survives every injected fault and adopts
+# exactly one straggler-driven replan.
+chaos:
+	for seed in 1 7 42; do \
+		ADAPIPE_CHAOS_SEED=$$seed $(GO) test -race -run 'Chaos|Fault|Recovery|Watchdog|Straggler|Replan|NonFinite' \
+			./internal/fault/... ./internal/train/... ./internal/obs/... ./internal/core/... || exit 1; \
+	done
+	$(GO) run ./examples/chaos
+
 # ci is the full gate the GitHub Actions workflow runs.
-ci: build lint test race observe
+ci: build lint test race observe chaos
 
 clean:
 	rm -rf bin observe-out

@@ -7,13 +7,16 @@
 //	adapipe -model gpt3 -tp 8 -pp 8 -dp 1 -seq 16384 -gbs 32
 //	adapipe -model llama2 -cluster b -tp 4 -pp 8 -dp 4 -seq 4096 -gbs 256
 //	adapipe -model gpt3 -seq 4096 -gbs 128 -sweep
+//	adapipe -chaos -chaos-seed 42 -chaos-steps 20
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"time"
 
 	"adapipe"
 )
@@ -36,8 +39,17 @@ func main() {
 		memcsv    = flag.String("memcsv", "", "write the per-device memory timeline as CSV to this file")
 		traceOut  = flag.String("trace", "", "write the simulated timeline as Chrome-trace JSON (chrome://tracing, Perfetto) to this file")
 		metrics   = flag.String("metrics", "", "write search and simulation metrics in Prometheus text format to this file")
+
+		chaos      = flag.Bool("chaos", false, "run a seeded fault-injection survival check on the live engine and exit")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault-injection seed for -chaos")
+		chaosSteps = flag.Int("chaos-steps", 12, "optimizer steps for -chaos")
 	)
 	flag.Parse()
+
+	if *chaos {
+		runChaos(*chaosSeed, *chaosSteps, *metrics)
+		return
+	}
 
 	var m adapipe.Model
 	switch *modelName {
@@ -148,6 +160,73 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote metrics to %s\n", *metrics)
+	}
+}
+
+// runChaos trains a tiny model on the live 1F1B engine for steps optimizer
+// steps while a seeded fault injector throws probabilistic straggler delays,
+// transient stage panics, and NaN corruptions at it, with step-level recovery
+// (retry-from-snapshot plus the non-finite guard) enabled. The process exits
+// non-zero if any step fails beyond recovery, so it doubles as a survival
+// gate; fault counters go to stdout and, with -metrics, to a Prometheus file.
+func runChaos(seed uint64, steps int, metricsPath string) {
+	const (
+		stages = 3
+		micros = 4
+		seq    = 12
+	)
+	cfg := adapipe.TrainConfig{Layers: 2, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: seq, Seed: 5}
+	// Layer sequence: embed + 2*layers(split attn/mlp) + head.
+	pipe, err := adapipe.NewTrainPipeline(cfg, []int{0, 2, 4, 6}, nil, 1e-3)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pipe.Watchdog = 30 * time.Second
+	pipe.Fault, err = adapipe.NewFaultInjector(seed,
+		adapipe.FaultOn(adapipe.FaultStraggler).WithProb(0.05).WithDelay(time.Millisecond),
+		adapipe.FaultOn(adapipe.FaultPanic).WithProb(0.01),
+		adapipe.FaultOn(adapipe.FaultCorrupt).WithProb(0.01),
+	)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sup, err := adapipe.NewTrainSupervisor(pipe, adapipe.TrainRecovery{
+		MaxRetries: 6, Backoff: time.Millisecond, GuardNonFinite: true,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	corpus := adapipe.NewTrainCorpus(cfg.Vocab, 1<<12, 11)
+	rng := adapipe.NewRNG(11)
+	var first, last float64
+	skipped := 0
+	for i := 0; i < steps; i++ {
+		loss, err := sup.Step(corpus.Batches(micros, seq, rng))
+		if err != nil {
+			fatalf("chaos seed %d: step %d failed beyond recovery: %v", seed, i, err)
+		}
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			skipped++
+			continue
+		}
+		if first == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	counters := sup.Counters()
+	fmt.Printf("chaos seed %d survived %d steps on %d stages (loss %.4f -> %.4f, %d skipped)\n",
+		seed, steps, stages, first, last, skipped)
+	fmt.Printf("fault counters: %+v\n", counters)
+	if int64(skipped) != counters.SkippedSteps {
+		fatalf("chaos seed %d: %d non-finite losses vs %d skipped steps", seed, skipped, counters.SkippedSteps)
+	}
+	if metricsPath != "" {
+		text := adapipe.RenderProm(adapipe.FaultMetrics("adapipe_fault", counters))
+		if err := os.WriteFile(metricsPath, []byte(text), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote fault metrics to %s\n", metricsPath)
 	}
 }
 

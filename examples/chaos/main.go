@@ -1,0 +1,243 @@
+// chaos demonstrates the fault-tolerance layer end to end: it plans a tiny
+// model, trains it on the live 1F1B engine while a deterministic fault
+// injector attacks it (a persistent straggler stage, a transient panic, a
+// NaN corruption), survives everything through the supervisor's
+// retry-from-snapshot and non-finite guard, detects the straggler from
+// measured traces, replans the partition under the degraded cost model, and
+// adopts the new plan mid-run via a checkpoint-based rebind — the full
+// inject → survive → replan loop.
+//
+// The process exits non-zero unless the run survives, exactly one replan is
+// adopted, and the adopted plan's simulated iteration beats the repriced
+// incumbent's, so `make chaos` doubles as an acceptance gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"adapipe"
+)
+
+const (
+	layers    = 4
+	stages    = 2
+	micros    = 8
+	seq       = 48
+	lr        = 1e-3
+	calibrate = 3 // fault-free steps used to profile per-stage micro-times
+	injected  = 8 // steps under attack
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "fault-injection seed")
+	flag.Parse()
+
+	m := adapipe.Model{
+		Name: "chaos-tiny", DecoderLayers: layers, Hidden: 64, Heads: 4,
+		KVHeads: 4, FFNHidden: 128, Vocab: 64, BytesPerValue: 8,
+	}
+	net := adapipe.TrainConfig{
+		Layers: layers, Dim: 64, Heads: 4, FFN: 128, Vocab: 64, Seq: seq, Seed: 7,
+	}
+	strat := adapipe.Strategy{TP: 1, PP: stages, DP: 1}
+	tc := adapipe.TrainingConfig{GlobalBatch: micros, MicroBatch: 1, SeqLen: seq}
+
+	capacity, err := toyCapacity(m, strat, tc, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	planner, err := adapipe.NewPlanner(m, toyCluster(stages, capacity), strat, tc, toyOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := planner.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(adapipe.Describe(plan))
+
+	bounds, saves := adapipe.TrainSpecFromPlan(plan, m)
+	pipe, err := adapipe.NewTrainPipeline(net, bounds, saves, lr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe.Recorder = adapipe.NewTrainRecorder()
+	pipe.Watchdog = 30 * time.Second
+	sup, err := adapipe.NewTrainSupervisor(pipe, adapipe.TrainRecovery{
+		MaxRetries: 3, Backoff: time.Millisecond, GuardNonFinite: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := adapipe.NewTrainCorpus(net.Vocab, 1<<14, 7)
+	rng := adapipe.NewRNG(7)
+	var losses []float64
+	step := func(label string) *adapipe.TrainTrace {
+		loss, err := sup.Step(corpus.Batches(micros, seq, rng))
+		if err != nil {
+			log.Fatalf("chaos: %s step failed beyond recovery: %v", label, err)
+		}
+		losses = append(losses, loss)
+		return sup.Pipe.Recorder.Trace()
+	}
+
+	// Phase 1 — calibrate: profile the healthy engine's per-stage
+	// micro-step times; they become the straggler detector's baseline.
+	predicted := make([]float64, stages)
+	for i := 0; i < calibrate; i++ {
+		tr := step("calibration")
+		for s, v := range tr.Result().MicroStep {
+			predicted[s] += v / calibrate
+		}
+	}
+	detector, err := adapipe.NewStragglerDetector(predicted, 1.5, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 2 — inject: stage 0 becomes a persistent straggler (every op
+	// delayed), one transient panic kills an iteration, one corruption
+	// poisons an activation. Attempts count Accumulate calls, so the
+	// targeted faults land inside the injected phase and never re-fire on
+	// the retry.
+	inj, err := adapipe.NewFaultInjector(*seed,
+		adapipe.FaultOn(adapipe.FaultStraggler).AtStage(0).WithDelay(2*time.Millisecond),
+		adapipe.FaultOn(adapipe.FaultPanic).AtStage(1).AtAttempt(calibrate+1),
+		adapipe.FaultOn(adapipe.FaultCorrupt).AtStage(0).AtAttempt(calibrate+3).OnPhase(adapipe.FaultPhaseForward),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup.Pipe.Fault = inj
+
+	var adopted *adapipe.Replan
+	for i := 0; i < injected; i++ {
+		tr := step("injected")
+		if adopted != nil {
+			continue // one-shot: the detector's predictions died with the old partition
+		}
+		straggler, ok := detector.Observe(tr)
+		if !ok {
+			continue
+		}
+		fmt.Printf("\nstep %d: stage %d measured %.2fx slower than planned — replanning\n",
+			len(losses)-1, straggler.Stage, straggler.Slowdown)
+		r, err := planner.ReplanWithScale(plan, straggler.Scales(stages))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !r.Adopted {
+			log.Fatalf("chaos: replan not adopted (old sim %.4fs, new sim %.4fs)",
+				r.OldSim.IterTime, r.NewSim.IterTime)
+		}
+		fmt.Printf("replan adopted: simulated %.4fs -> %.4fs (%.2fx)\n",
+			r.OldSim.IterTime, r.NewSim.IterTime, r.Speedup())
+		fmt.Print(adapipe.Describe(r.New))
+		nb, ns := adapipe.TrainSpecFromPlan(r.New, m)
+		next, err := adapipe.NewTrainPipeline(net, nb, ns, lr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sup.Rebind(next); err != nil {
+			log.Fatal(err)
+		}
+		sup.Stats.Replans++
+		adopted = r
+	}
+
+	counters := sup.Counters()
+	fmt.Printf("\nlosses: first %.4f last %.4f over %d steps\n", losses[0], losses[len(losses)-1], len(losses))
+	fmt.Printf("fault counters: %+v\n\n", counters)
+	fmt.Print(adapipe.RenderProm(adapipe.FaultMetrics("adapipe_fault", counters)))
+
+	// Acceptance: survived, healed, exactly one adopted replan that the
+	// simulator says is faster.
+	if adopted == nil {
+		log.Fatal("chaos: straggler was never detected; no replan happened")
+	}
+	if counters.Replans != 1 {
+		log.Fatalf("chaos: %d replans, want exactly 1", counters.Replans)
+	}
+	if counters.Panics == 0 || counters.Corruptions == 0 || counters.Stragglers == 0 {
+		log.Fatalf("chaos: injection incomplete: %+v", counters)
+	}
+	if counters.Retries == 0 {
+		log.Fatalf("chaos: nothing was retried: %+v", counters)
+	}
+	var nonFinite int64
+	for _, l := range losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			nonFinite++
+		}
+	}
+	if nonFinite != counters.SkippedSteps {
+		log.Fatalf("chaos: %d non-finite losses vs %d skipped steps", nonFinite, counters.SkippedSteps)
+	}
+	if len(losses) != calibrate+injected {
+		log.Fatalf("chaos: %d losses, want %d", len(losses), calibrate+injected)
+	}
+	fmt.Println("\nchaos: survived all injected faults; one replan adopted")
+}
+
+// toyCluster builds a single-node cluster of small synthetic accelerators;
+// the planner needs a hardware model even when the executor is the pure-Go
+// engine.
+func toyCluster(devices int, capacity int64) adapipe.Cluster {
+	return adapipe.Cluster{
+		Name: "toy",
+		Device: adapipe.Device{
+			Name:                "toy-accelerator",
+			PeakFLOPS:           10e12,
+			MemBandwidth:        500e9,
+			MemCapacity:         capacity,
+			GEMMEfficiency:      0.5,
+			AttnEfficiency:      0.4,
+			BandwidthEfficiency: 0.8,
+		},
+		DevicesPerNode:     devices,
+		Nodes:              1,
+		IntraNodeBandwidth: 50e9,
+		InterNodeBandwidth: 10e9,
+		LinkLatency:        2e-6,
+	}
+}
+
+// toyOptions scales the planner to megabyte-size models: the datacenter
+// framework overhead and reserve would swamp a toy.
+func toyOptions() adapipe.Options {
+	opts := adapipe.DefaultOptions()
+	opts.Memory.OverheadBytes = 16 << 20
+	opts.MemoryReserve = 0.05
+	opts.Quantum = 4096
+	return opts
+}
+
+// toyCapacity probes the no-recomputation memory footprint and returns a
+// device capacity where frac of the activation footprint fits.
+func toyCapacity(m adapipe.Model, strat adapipe.Strategy, tc adapipe.TrainingConfig, frac float64) (int64, error) {
+	opts := toyOptions()
+	opts.Recompute = adapipe.RecomputeNone
+	opts.Partition = adapipe.PartitionEven
+	opts.IgnoreMemoryLimit = true
+	probe, err := adapipe.NewPlanner(m, toyCluster(strat.PP, 1<<40), strat, tc, opts)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := probe.Plan()
+	if err != nil {
+		return 0, err
+	}
+	var capacity int64
+	for _, st := range plan.Stages {
+		c := st.Mem.Static() + int64(frac*float64(st.Mem.Activations()))
+		if c > capacity {
+			capacity = c
+		}
+	}
+	// Inflate so the intended headroom survives the adaptive reserve.
+	return int64(float64(capacity) / (1 - toyOptions().MemoryReserve) * 1.02), nil
+}

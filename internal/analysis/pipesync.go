@@ -21,12 +21,18 @@ import (
 //     with the parent's Wait;
 //  3. a channel send while a mutex is held (between Lock and Unlock, or
 //     after a deferred Unlock), which blocks the pipeline with the lock
-//     taken as soon as the peer stage also needs it.
+//     taken as soon as the peer stage also needs it;
+//  4. a naked (non-select) channel send or receive inside a goroutine body.
+//     In the 1F1B executor a stage that dies leaves its peers blocked on
+//     such an op forever — the deadlock the cancellation protocol exists to
+//     prevent — so every stage-goroutine channel op must be a select case
+//     alongside the iteration's done channel.
 var PipeSync = &Analyzer{
 	Name: "pipesync",
 	Doc: "flags loop-variable capture in go statements, WaitGroup.Add inside the " +
-		"spawned goroutine, and channel sends while holding a mutex in the " +
-		"pipeline executor packages",
+		"spawned goroutine, channel sends while holding a mutex, and naked " +
+		"(non-select) channel ops in goroutine bodies in the pipeline " +
+		"executor packages",
 	Applies: pathMatcher(
 		nil,
 		"adapipe/internal/train",
@@ -101,6 +107,7 @@ func checkGoStmts(pass *Pass, file *ast.File) {
 					}
 				}
 				checkWaitGroupAdd(pass, fl)
+				checkNakedChannelOps(pass, fl)
 				return true
 			}
 			return true
@@ -145,6 +152,72 @@ func checkWaitGroupAdd(pass *Pass, fl *ast.FuncLit) {
 				"call Add before the go statement")
 		return true
 	})
+}
+
+// checkNakedChannelOps flags channel sends and receives in a goroutine body
+// that are not select-case communications. A peer goroutine that panics (or
+// is canceled) will never complete the matching op, so a naked op blocks the
+// goroutine forever and the parent's wg.Wait with it; the executor's
+// cancellation discipline requires every such op to be a select case paired
+// with the iteration's done channel. Ops in the parent function (which owns
+// the lifecycle) and close calls (which never block) are out of scope.
+func checkNakedChannelOps(pass *Pass, fl *ast.FuncLit) {
+	// First pass: collect the ops that appear as select-case comms.
+	guarded := map[ast.Node]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok || comm.Comm == nil {
+				continue
+			}
+			switch st := comm.Comm.(type) {
+			case *ast.SendStmt:
+				guarded[st] = true
+			case *ast.ExprStmt:
+				guarded[st.X] = true
+			case *ast.AssignStmt:
+				for _, e := range st.Rhs {
+					guarded[e] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if _, isLit := g.Call.Fun.(*ast.FuncLit); isLit {
+				return false // nested goroutine bodies get their own GoStmt visit
+			}
+		}
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			if !guarded[st] && isChanType(pass.TypeOf(st.Chan)) {
+				pass.Reportf(st.Arrow,
+					"naked channel send in a goroutine blocks forever if the peer dies; "+
+						"make it a select case alongside the cancellation channel")
+			}
+		case *ast.UnaryExpr:
+			if st.Op == token.ARROW && !guarded[st] && isChanType(pass.TypeOf(st.X)) {
+				pass.Reportf(st.OpPos,
+					"naked channel receive in a goroutine blocks forever if the peer dies; "+
+						"make it a select case alongside the cancellation channel")
+			}
+		}
+		return true
+	})
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
 }
 
 // checkSendUnderMutex scans each function body in source order, tracking a

@@ -91,6 +91,72 @@ func LaunchExplicit(n int, work func(int)) {
 	wg.Wait()
 }
 
+// StageNaked runs a pipeline stage with naked channel ops — both flagged:
+// if the peer stage panics, the receive (or send) blocks forever and the
+// parent's wg.Wait deadlocks.
+func StageNaked(in, out chan int, work func(int) int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		x := <-in      // want `naked channel receive in a goroutine`
+		out <- work(x) // want `naked channel send in a goroutine`
+	}()
+	wg.Wait()
+}
+
+// StageCancellable wraps every channel op in a select with the iteration's
+// done channel — the approved executor pattern, not flagged.
+func StageCancellable(in, out chan int, done chan struct{}, work func(int) int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var x int
+		select {
+		case x = <-in:
+		case <-done:
+			return
+		}
+		select {
+		case out <- work(x):
+		case <-done:
+			return
+		}
+	}()
+	wg.Wait()
+}
+
+// ParentNaked performs channel ops in the parent function, which owns the
+// goroutine lifecycle — not flagged (the rule scopes to goroutine bodies).
+func ParentNaked(in, out chan int, work func(int) int) {
+	x := <-in
+	out <- work(x)
+}
+
+// CloseInGoroutine closes a completion channel from a helper goroutine —
+// not flagged (close never blocks).
+func CloseInGoroutine(wg *sync.WaitGroup) chan struct{} {
+	waited := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(waited)
+	}()
+	return waited
+}
+
+// SuppressedNakedSend documents an op whose peer provably outlives it.
+func SuppressedNakedSend(out chan int, v int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		//adapipevet:ignore pipesync buffered result channel, receiver never exits early
+		out <- v
+	}()
+	wg.Wait()
+}
+
 // SuppressedCapture documents a harmless capture.
 func SuppressedCapture(n int, work func(int)) {
 	var wg sync.WaitGroup

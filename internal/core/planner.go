@@ -226,6 +226,10 @@ type Planner struct {
 	n      int
 
 	cache map[costKey]stageCost
+	// scale holds per-stage compute-cost multipliers (nil = all 1), set by
+	// SetStageScale when a live run observes a degraded stage. Applied on
+	// top of the cache, which stores nominal costs only.
+	scale []float64
 	// Stats accumulates search-effort counters across Plan calls (the cost
 	// cache persists, so the counters do too); each Plan carries a snapshot.
 	Stats SearchStats
@@ -348,15 +352,23 @@ func (pl *Planner) buildGroups(layers []model.Layer) []recompute.Group {
 }
 
 // stageCostFor computes (and caches) the cost entry for layers i..j at stage s.
+// The cache holds nominal costs; any stage scale is applied to the returned
+// copy, so SetStageScale never invalidates cached entries (the isomorphism
+// key retains the stage index, keeping per-stage scaling cache-consistent).
 func (pl *Planner) stageCostFor(s, i, j int) stageCost {
 	pl.Stats.CostEvaluations++
 	key := pl.isoKey(s, i, j)
-	if c, hit := pl.cache[key]; hit {
+	c, hit := pl.cache[key]
+	if hit {
 		pl.Stats.CacheHits++
-		return c
+	} else {
+		c = pl.solveStage(s, i, j)
+		pl.cache[key] = c
 	}
-	c := pl.solveStage(s, i, j)
-	pl.cache[key] = c
+	if pl.scale != nil {
+		c.fwd *= pl.scale[s]
+		c.bwd *= pl.scale[s]
+	}
 	return c
 }
 

@@ -1,0 +1,292 @@
+// Package fault is a deterministic, seeded fault-injection layer for the live
+// 1F1B pipeline engine. An Injector is consulted by the executor around every
+// scheduled op and can delay it (a straggler device), panic mid-op (a
+// transient stage failure), or overwrite the op's output boundary tensor with
+// NaN/Inf (activation corruption) — the failure modes a production pipeline
+// must survive and the paper's fault-free model ignores.
+//
+// Every decision is a pure function of (seed, rule, attempt, stage, micro,
+// phase) via counter-based hashing, so injections are reproducible regardless
+// of goroutine scheduling: the same seed and rule set fires the same faults
+// on every run, which is what makes chaos tests assertable. The package is
+// dependency-free (stdlib only) and knows nothing about the engine; the
+// engine talks to it through a small structural interface.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Any matches every stage, micro-batch or attempt in a Rule filter.
+const Any = -1
+
+// Kind is a fault class.
+type Kind uint8
+
+const (
+	// Straggler delays the op by the rule's Delay, modeling a persistently
+	// or intermittently slow device. Delays are cancellable: a canceled
+	// pipeline does not sit out the remaining sleep.
+	Straggler Kind = iota
+	// Panic panics mid-op, modeling a transient stage failure (the stage
+	// goroutine dies and the iteration must be canceled and retried).
+	Panic
+	// Corrupt overwrites one element of the op's output boundary tensor
+	// with NaN or ±Inf, modeling numeric blow-up. The non-finite value
+	// propagates into the loss and gradients, where the engine's guard
+	// catches it.
+	Corrupt
+	kindCount
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Straggler:
+		return "straggler"
+	case Panic:
+		return "panic"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Phase selects which executor ops a rule applies to.
+type Phase uint8
+
+const (
+	// PhaseAny matches forward and backward ops.
+	PhaseAny Phase = iota
+	// PhaseForward matches forward ops only.
+	PhaseForward
+	// PhaseBackward matches backward ops only.
+	PhaseBackward
+)
+
+// Rule is one fault source: a kind plus filters narrowing where and when it
+// fires. Filters left at Any match everything of that dimension; Prob is the
+// per-matching-op firing probability (1 fires on every match). Build rules
+// with On and the chainable At*/With* setters so no filter is accidentally
+// left at a zero value targeting stage/micro/attempt 0.
+type Rule struct {
+	// Kind is the fault class.
+	Kind Kind
+	// Stage targets one pipeline stage, or Any.
+	Stage int
+	// Micro targets one micro-batch index, or Any.
+	Micro int
+	// Attempt targets one Accumulate attempt (iteration attempts count
+	// retries), or Any. Targeting an exact attempt makes a fault transient:
+	// the retry of the same step runs under a later attempt number and the
+	// rule no longer matches.
+	Attempt int
+	// Phase restricts the rule to forward or backward ops.
+	Phase Phase
+	// Prob is the firing probability per matching op, in [0, 1].
+	Prob float64
+	// Delay is the straggler sleep; ignored by other kinds.
+	Delay time.Duration
+}
+
+// On returns a Rule of the given kind matching every op with probability 1;
+// narrow it with the chainable setters.
+func On(kind Kind) Rule {
+	return Rule{Kind: kind, Stage: Any, Micro: Any, Attempt: Any, Phase: PhaseAny, Prob: 1}
+}
+
+// AtStage restricts the rule to one pipeline stage.
+func (r Rule) AtStage(s int) Rule { r.Stage = s; return r }
+
+// AtMicro restricts the rule to one micro-batch index.
+func (r Rule) AtMicro(m int) Rule { r.Micro = m; return r }
+
+// AtAttempt restricts the rule to one iteration attempt.
+func (r Rule) AtAttempt(a int) Rule { r.Attempt = a; return r }
+
+// OnPhase restricts the rule to forward or backward ops.
+func (r Rule) OnPhase(p Phase) Rule { r.Phase = p; return r }
+
+// WithProb sets the per-op firing probability.
+func (r Rule) WithProb(p float64) Rule { r.Prob = p; return r }
+
+// WithDelay sets the straggler sleep.
+func (r Rule) WithDelay(d time.Duration) Rule { r.Delay = d; return r }
+
+// validate reports whether the rule is well-formed.
+func (r Rule) validate() error {
+	switch {
+	case r.Kind >= kindCount:
+		return fmt.Errorf("fault: unknown kind %d", uint8(r.Kind))
+	case r.Stage < Any || r.Micro < Any || r.Attempt < Any:
+		return fmt.Errorf("fault: stage/micro/attempt filters must be >= Any (-1): %+v", r)
+	case r.Phase > PhaseBackward:
+		return fmt.Errorf("fault: unknown phase %d", uint8(r.Phase))
+	case r.Prob < 0 || r.Prob > 1 || math.IsNaN(r.Prob):
+		return fmt.Errorf("fault: probability %g outside [0, 1]", r.Prob)
+	case r.Delay < 0:
+		return fmt.Errorf("fault: negative delay %s", r.Delay)
+	case r.Kind == Straggler && r.Delay == 0:
+		return fmt.Errorf("fault: straggler rule needs a positive Delay")
+	}
+	return nil
+}
+
+// InjectedPanic is the value an injected Panic fault panics with, so the
+// engine's recover path (and tests) can tell injected failures from real
+// executor bugs.
+type InjectedPanic struct {
+	// Stage, Micro and Attempt identify the op the fault killed.
+	Stage, Micro, Attempt int
+}
+
+// String renders the panic payload.
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("fault: injected panic (stage %d, micro %d, attempt %d)", p.Stage, p.Micro, p.Attempt)
+}
+
+// Injector evaluates a rule set deterministically. It is safe for concurrent
+// use by every stage goroutine: decisions are pure hashes and the counters
+// are atomic.
+type Injector struct {
+	seed  uint64
+	rules []Rule
+
+	stragglers  atomic.Int64
+	panics      atomic.Int64
+	corruptions atomic.Int64
+}
+
+// New validates the rules and returns an injector keyed by seed.
+func New(seed uint64, rules ...Rule) (*Injector, error) {
+	for i, r := range rules {
+		if err := r.validate(); err != nil {
+			return nil, fmt.Errorf("fault: rule %d: %w", i, err)
+		}
+	}
+	return &Injector{seed: seed, rules: append([]Rule(nil), rules...)}, nil
+}
+
+// MustNew is New panicking on invalid rules, for tests and examples.
+func MustNew(seed uint64, rules ...Rule) *Injector {
+	inj, err := New(seed, rules...)
+	if err != nil {
+		panic(err)
+	}
+	return inj
+}
+
+// OpStart runs the pre-op fault kinds for one scheduled op: matching
+// Straggler rules sleep (in rule order, cancellably), then a matching Panic
+// rule panics with an InjectedPanic payload. The executor calls it right
+// before the op's compute, inside the recorder's compute bracket, so
+// straggler delay shows up as compute slowdown — exactly how a slow device
+// would look to the straggler detector.
+func (in *Injector) OpStart(attempt, stage, micro int, backward bool, cancel <-chan struct{}) {
+	phase := PhaseForward
+	if backward {
+		phase = PhaseBackward
+	}
+	for ri, r := range in.rules {
+		if r.Kind != Straggler || !in.fires(ri, r, attempt, stage, micro, phase) {
+			continue
+		}
+		in.stragglers.Add(1)
+		sleep(r.Delay, cancel)
+	}
+	for ri, r := range in.rules {
+		if r.Kind != Panic || !in.fires(ri, r, attempt, stage, micro, phase) {
+			continue
+		}
+		in.panics.Add(1)
+		panic(InjectedPanic{Stage: stage, Micro: micro, Attempt: attempt})
+	}
+}
+
+// Corrupt applies matching Corrupt rules to the op's output boundary tensor
+// in place: each firing rule overwrites one deterministically-chosen element
+// with NaN or ±Inf. The executor calls it on the tensor an op is about to
+// hand to its neighbor (forward activation or backward boundary gradient).
+func (in *Injector) Corrupt(attempt, stage, micro int, backward bool, data []float64) {
+	if len(data) == 0 {
+		return
+	}
+	phase := PhaseForward
+	if backward {
+		phase = PhaseBackward
+	}
+	for ri, r := range in.rules {
+		if r.Kind != Corrupt || !in.fires(ri, r, attempt, stage, micro, phase) {
+			continue
+		}
+		in.corruptions.Add(1)
+		h := in.hash(ri, attempt, stage, micro, phase, 0xc0)
+		v := math.NaN()
+		switch h >> 61 & 3 {
+		case 1:
+			v = math.Inf(1)
+		case 2:
+			v = math.Inf(-1)
+		}
+		data[h%uint64(len(data))] = v
+	}
+}
+
+// InjectedCounts returns how many faults of each kind have fired so far.
+func (in *Injector) InjectedCounts() (stragglers, panics, corruptions int64) {
+	return in.stragglers.Load(), in.panics.Load(), in.corruptions.Load()
+}
+
+// fires decides whether rule ri fires on the identified op — a pure function
+// of the injector seed and the op identifiers, independent of scheduling.
+func (in *Injector) fires(ri int, r Rule, attempt, stage, micro int, phase Phase) bool {
+	switch {
+	case r.Stage != Any && r.Stage != stage:
+		return false
+	case r.Micro != Any && r.Micro != micro:
+		return false
+	case r.Attempt != Any && r.Attempt != attempt:
+		return false
+	case r.Phase != PhaseAny && r.Phase != phase:
+		return false
+	case r.Prob >= 1:
+		return true
+	case r.Prob <= 0:
+		return false
+	}
+	h := in.hash(ri, attempt, stage, micro, phase, 0)
+	return float64(h>>11)*0x1p-53 < r.Prob
+}
+
+// hash folds the op identifiers into one 64-bit value with splitmix64.
+func (in *Injector) hash(ri, attempt, stage, micro int, phase Phase, salt uint64) uint64 {
+	h := in.seed
+	for _, v := range [...]uint64{uint64(ri), uint64(attempt), uint64(stage), uint64(micro), uint64(phase), salt} {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sleep blocks for d or until cancel closes, whichever comes first.
+func sleep(d time.Duration, cancel <-chan struct{}) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-cancel:
+	}
+}

@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRuleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+		ok   bool
+	}{
+		{"panic-any", On(Panic), true},
+		{"straggler", On(Straggler).WithDelay(time.Millisecond), true},
+		{"corrupt-prob", On(Corrupt).WithProb(0.25), true},
+		{"straggler-no-delay", On(Straggler), false},
+		{"bad-prob", On(Panic).WithProb(1.5), false},
+		{"nan-prob", On(Panic).WithProb(math.NaN()), false},
+		{"bad-stage", On(Panic).AtStage(-2), false},
+		{"bad-kind", Rule{Kind: kindCount, Stage: Any, Micro: Any, Attempt: Any, Prob: 1}, false},
+		{"negative-delay", On(Straggler).WithDelay(-time.Second), false},
+	}
+	for _, tc := range cases {
+		_, err := New(1, tc.rule)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestPanicFiltersAndPayload(t *testing.T) {
+	inj := MustNew(7, On(Panic).AtStage(2).AtMicro(3).AtAttempt(1).OnPhase(PhaseBackward))
+
+	// Non-matching ops pass through untouched.
+	inj.OpStart(1, 2, 3, false, nil) // wrong phase
+	inj.OpStart(1, 1, 3, true, nil)  // wrong stage
+	inj.OpStart(1, 2, 0, true, nil)  // wrong micro
+	inj.OpStart(0, 2, 3, true, nil)  // wrong attempt
+	if _, p, _ := inj.InjectedCounts(); p != 0 {
+		t.Fatalf("panics fired on non-matching ops: %d", p)
+	}
+
+	defer func() {
+		r := recover()
+		ip, ok := r.(InjectedPanic)
+		if !ok {
+			t.Fatalf("panic payload = %v (%T), want InjectedPanic", r, r)
+		}
+		if ip.Stage != 2 || ip.Micro != 3 || ip.Attempt != 1 {
+			t.Fatalf("payload = %+v", ip)
+		}
+		if _, p, _ := inj.InjectedCounts(); p != 1 {
+			t.Fatalf("panic count = %d, want 1", p)
+		}
+	}()
+	inj.OpStart(1, 2, 3, true, nil)
+}
+
+func TestProbDecisionsDeterministic(t *testing.T) {
+	counts := func(seed uint64) (fired int, pattern []bool) {
+		inj := MustNew(seed, On(Corrupt).WithProb(0.5))
+		for micro := 0; micro < 64; micro++ {
+			data := []float64{1}
+			inj.Corrupt(0, 0, micro, false, data)
+			hit := math.IsNaN(data[0]) || math.IsInf(data[0], 0)
+			pattern = append(pattern, hit)
+			if hit {
+				fired++
+			}
+		}
+		return fired, pattern
+	}
+
+	fired1, pat1 := counts(42)
+	fired2, pat2 := counts(42)
+	if fired1 != fired2 {
+		t.Fatalf("same seed fired %d vs %d", fired1, fired2)
+	}
+	for i := range pat1 {
+		if pat1[i] != pat2[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	if fired1 == 0 || fired1 == 64 {
+		t.Fatalf("prob 0.5 over 64 ops fired %d times; hash looks degenerate", fired1)
+	}
+
+	fired3, pat3 := counts(43)
+	same := true
+	for i := range pat1 {
+		if pat1[i] != pat3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical firing patterns (%d fired)", fired3)
+	}
+}
+
+func TestCorruptWritesNonFinite(t *testing.T) {
+	inj := MustNew(3, On(Corrupt).AtStage(1).OnPhase(PhaseForward))
+	data := make([]float64, 16)
+	inj.Corrupt(0, 1, 0, false, data)
+
+	bad := 0
+	for _, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			bad++
+		}
+	}
+	if bad != 1 {
+		t.Fatalf("corrupted %d elements, want exactly 1", bad)
+	}
+	if _, _, c := inj.InjectedCounts(); c != 1 {
+		t.Fatalf("corruption count = %d, want 1", c)
+	}
+
+	// Backward ops are out of the rule's phase.
+	clean := make([]float64, 16)
+	inj.Corrupt(0, 1, 0, true, clean)
+	for i, v := range clean {
+		if v != 0 {
+			t.Fatalf("backward op corrupted element %d", i)
+		}
+	}
+
+	// Empty tensors are a no-op, not a crash.
+	inj.Corrupt(0, 1, 1, false, nil)
+}
+
+func TestStragglerSleepIsCancellable(t *testing.T) {
+	inj := MustNew(1, On(Straggler).WithDelay(time.Minute))
+	cancel := make(chan struct{})
+	close(cancel)
+
+	start := time.Now()
+	inj.OpStart(0, 0, 0, false, cancel)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("canceled straggler sleep still took %s", d)
+	}
+	if s, _, _ := inj.InjectedCounts(); s != 1 {
+		t.Fatalf("straggler count = %d, want 1", s)
+	}
+}
+
+func TestAttemptTargetingIsTransient(t *testing.T) {
+	inj := MustNew(9, On(Panic).AtAttempt(0))
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("attempt 0 did not panic")
+			}
+		}()
+		inj.OpStart(0, 0, 0, false, nil)
+	}()
+
+	// The retry runs under attempt 1 and must be clean.
+	inj.OpStart(1, 0, 0, false, nil)
+	if _, p, _ := inj.InjectedCounts(); p != 1 {
+		t.Fatalf("panic count = %d, want 1", p)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+// FaultCounters aggregates the robustness story of one training run: how
+// many faults were injected (by kind) and what the recovery layer did about
+// them. The injection counts come from the fault injector; the action counts
+// from the supervisor and replanning loop. Exported via FaultMetrics through
+// the same Prometheus text exposition as the sim/trace/drift gauges.
+type FaultCounters struct {
+	// Stragglers, Panics and Corruptions count injected faults by kind.
+	Stragglers, Panics, Corruptions int64
+	// Retries counts step retries from the in-memory snapshot.
+	Retries int64
+	// SkippedSteps counts optimizer steps skipped by the non-finite guard
+	// after the retry budget was spent.
+	SkippedSteps int64
+	// WatchdogTrips counts iterations canceled by the watchdog timeout.
+	WatchdogTrips int64
+	// Replans counts adopted straggler-driven repartitions.
+	Replans int64
+}
+
+// Add accumulates another counter set (e.g. merging per-phase runs).
+func (c *FaultCounters) Add(o FaultCounters) {
+	c.Stragglers += o.Stragglers
+	c.Panics += o.Panics
+	c.Corruptions += o.Corruptions
+	c.Retries += o.Retries
+	c.SkippedSteps += o.SkippedSteps
+	c.WatchdogTrips += o.WatchdogTrips
+	c.Replans += o.Replans
+}
+
+// FaultMetrics converts fault counters into gauges under the given name
+// prefix, with injected faults labeled by kind.
+func FaultMetrics(prefix string, c FaultCounters) []Metric {
+	injected := "injected faults by kind"
+	return []Metric{
+		{Name: prefix + "_injected_total", Help: injected, Labels: [][2]string{{"kind", "straggler"}}, Value: float64(c.Stragglers)},
+		{Name: prefix + "_injected_total", Help: injected, Labels: [][2]string{{"kind", "panic"}}, Value: float64(c.Panics)},
+		{Name: prefix + "_injected_total", Help: injected, Labels: [][2]string{{"kind", "corrupt"}}, Value: float64(c.Corruptions)},
+		{Name: prefix + "_retries_total", Help: "step retries from the in-memory snapshot", Value: float64(c.Retries)},
+		{Name: prefix + "_skipped_steps_total", Help: "optimizer steps skipped by the non-finite guard", Value: float64(c.SkippedSteps)},
+		{Name: prefix + "_watchdog_trips_total", Help: "iterations canceled by the watchdog timeout", Value: float64(c.WatchdogTrips)},
+		{Name: prefix + "_replans_total", Help: "adopted straggler-driven repartitions", Value: float64(c.Replans)},
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import "fmt"
+
+// Straggler identifies a stage persistently slower than the plan predicted.
+type Straggler struct {
+	// Stage is the straggling stage index.
+	Stage int
+	// Slowdown is the stage's measured/predicted micro-step ratio divided
+	// by the fastest stage's ratio — how much slower the stage runs than
+	// the plan assumed, with clock-scale and model-bias effects common to
+	// all stages divided out.
+	Slowdown float64
+}
+
+// StragglerDetector watches measured iteration traces for a stage whose
+// per-micro compute time exceeds the plan's prediction by more than the
+// threshold for a window of consecutive steps. It is the trigger half of
+// straggler-driven replanning: a detection feeds core.ReplanWithScale, which
+// re-solves the partition under the degraded cost and validates the result
+// in the simulator before adoption.
+//
+// Normalization divides each stage's measured/predicted ratio by the
+// *minimum* ratio across stages, treating the fastest stage as running at
+// modeled speed. A uniform clock-scale mismatch between the profile and the
+// live machine therefore never looks like a straggler; only relative
+// degradation does. (The minimum — not the median — is the baseline: at
+// p=2 a median would split a real slowdown between both stages.)
+type StragglerDetector struct {
+	// Predicted is the per-stage predicted micro-step time (forward plus
+	// backward per micro-batch) in seconds, from the plan's cost model.
+	Predicted []float64
+	// Threshold is the relative slowdown that counts a step against a
+	// stage, e.g. 1.5 for "50% slower than planned".
+	Threshold float64
+	// Window is how many consecutive over-threshold steps trigger.
+	Window int
+
+	streaks []int
+}
+
+// NewStragglerDetector validates the configuration. Predicted entries must
+// be positive, the threshold above 1, and the window at least 1.
+func NewStragglerDetector(predicted []float64, threshold float64, window int) (*StragglerDetector, error) {
+	if len(predicted) == 0 {
+		return nil, fmt.Errorf("obs: straggler detector needs per-stage predictions")
+	}
+	for s, v := range predicted {
+		if v <= 0 {
+			return nil, fmt.Errorf("obs: predicted micro-step for stage %d is %g, want > 0", s, v)
+		}
+	}
+	if threshold <= 1 {
+		return nil, fmt.Errorf("obs: straggler threshold %g must exceed 1", threshold)
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("obs: straggler window %d must be >= 1", window)
+	}
+	return &StragglerDetector{
+		Predicted: append([]float64(nil), predicted...),
+		Threshold: threshold,
+		Window:    window,
+		streaks:   make([]int, len(predicted)),
+	}, nil
+}
+
+// Observe folds one measured iteration into the detector and reports whether
+// a straggler crossed the window. On a trigger the detection is returned and
+// all streaks reset, so the caller sees exactly one trigger per sustained
+// degradation — the one-shot that kicks off a replan.
+func (d *StragglerDetector) Observe(t *Trace) (Straggler, bool) {
+	measured := t.Result().MicroStep
+	if len(measured) != len(d.Predicted) {
+		return Straggler{}, false
+	}
+	ratios := make([]float64, len(measured))
+	minRatio := 0.0
+	for s := range measured {
+		if measured[s] <= 0 {
+			// A stage with no measured compute (empty trace) yields no
+			// evidence either way; skip the whole observation.
+			return Straggler{}, false
+		}
+		ratios[s] = measured[s] / d.Predicted[s]
+		if minRatio == 0 || ratios[s] < minRatio {
+			minRatio = ratios[s]
+		}
+	}
+	worst := Straggler{Stage: -1}
+	for s, r := range ratios {
+		rel := r / minRatio
+		if rel >= d.Threshold {
+			d.streaks[s]++
+		} else {
+			d.streaks[s] = 0
+		}
+		if d.streaks[s] >= d.Window && rel > worst.Slowdown {
+			worst = Straggler{Stage: s, Slowdown: rel}
+		}
+	}
+	if worst.Stage < 0 {
+		return Straggler{}, false
+	}
+	for s := range d.streaks {
+		d.streaks[s] = 0
+	}
+	return worst, true
+}
+
+// Scales converts a detection into the per-stage cost multipliers fed to the
+// planner: the straggling stage's compute cost is scaled by the observed
+// slowdown, every other stage is unchanged.
+func (s Straggler) Scales(stages int) []float64 {
+	out := make([]float64, stages)
+	for i := range out {
+		out[i] = 1
+	}
+	if s.Stage >= 0 && s.Stage < stages && s.Slowdown > 1 {
+		out[s.Stage] = s.Slowdown
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"adapipe/internal/schedule"
+	"adapipe/internal/sim"
+)
+
+// mkTrace synthesizes a measured iteration whose per-stage micro-step times
+// (forward plus backward per micro) equal micro[s]: one forward and one
+// backward span per stage, each covering one micro-batch.
+func mkTrace(micro []float64) *Trace {
+	p := len(micro)
+	t := &Trace{
+		Busy: make([]float64, p), Stall: make([]float64, p),
+		PeakBytes: make([]int64, p), MemCurve: make([][]sim.MemPoint, p),
+	}
+	for s, m := range micro {
+		half := m / 2
+		t.Spans = append(t.Spans,
+			Span{Stage: s, Op: schedule.Op{Kind: schedule.Forward, Micros: []int{0}}, Start: 0, End: half},
+			Span{Stage: s, Op: schedule.Op{Kind: schedule.Backward, Micros: []int{0}}, Start: half, End: m},
+		)
+		t.Busy[s] = m
+		if m > t.WallTime {
+			t.WallTime = m
+		}
+	}
+	return t
+}
+
+func TestStragglerDetectorValidation(t *testing.T) {
+	if _, err := NewStragglerDetector(nil, 1.5, 3); err == nil {
+		t.Error("empty predictions accepted")
+	}
+	if _, err := NewStragglerDetector([]float64{1, 0}, 1.5, 3); err == nil {
+		t.Error("zero prediction accepted")
+	}
+	if _, err := NewStragglerDetector([]float64{1, 1}, 1.0, 3); err == nil {
+		t.Error("threshold 1.0 accepted")
+	}
+	if _, err := NewStragglerDetector([]float64{1, 1}, 1.5, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+// TestUniformSlowdownIsNotAStraggler: a clock-scale mismatch (every stage 3x
+// slower than predicted) must never trigger — min-ratio normalization
+// divides it out.
+func TestUniformSlowdownIsNotAStraggler(t *testing.T) {
+	d, err := NewStragglerDetector([]float64{0.010, 0.012, 0.011}, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 10; step++ {
+		if s, ok := d.Observe(mkTrace([]float64{0.030, 0.036, 0.033})); ok {
+			t.Fatalf("uniform 3x slowdown flagged stage %d at step %d", s.Stage, step)
+		}
+	}
+}
+
+// TestStragglerTriggersExactlyOnce: a sustained 2x degradation on one stage
+// triggers exactly once after Window consecutive observations (the one-shot
+// that kicks off a replan), with streaks reset afterwards. This also covers
+// p=2, where a median-normalized detector would underestimate the slowdown.
+func TestStragglerTriggersExactlyOnce(t *testing.T) {
+	const window = 3
+	d, err := NewStragglerDetector([]float64{0.010, 0.010}, 1.5, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := []float64{0.020, 0.010} // stage 0 at 2x, stage 1 on plan
+
+	triggers := 0
+	var got Straggler
+	for step := 0; step < window; step++ {
+		if s, ok := d.Observe(mkTrace(slow)); ok {
+			triggers++
+			got = s
+			if step != window-1 {
+				t.Fatalf("triggered at step %d, want step %d", step, window-1)
+			}
+		}
+	}
+	if triggers != 1 {
+		t.Fatalf("%d triggers over the window, want exactly 1", triggers)
+	}
+	if got.Stage != 0 {
+		t.Fatalf("flagged stage %d, want 0", got.Stage)
+	}
+	if got.Slowdown < 1.9 || got.Slowdown > 2.1 {
+		t.Fatalf("slowdown %g, want ~2", got.Slowdown)
+	}
+	// The streak was reset: the next window-1 observations stay silent.
+	for step := 0; step < window-1; step++ {
+		if _, ok := d.Observe(mkTrace(slow)); ok {
+			t.Fatalf("re-triggered %d steps after reset, window is %d", step+1, window)
+		}
+	}
+
+	scales := got.Scales(2)
+	if scales[1] != 1 || scales[0] != got.Slowdown {
+		t.Fatalf("scales = %v, want [%g 1]", scales, got.Slowdown)
+	}
+}
+
+// TestTransientBlipDoesNotTrigger: a single slow step inside a healthy run
+// resets the streak and never reaches the window.
+func TestTransientBlipDoesNotTrigger(t *testing.T) {
+	d, err := NewStragglerDetector([]float64{0.010, 0.010, 0.010}, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := []float64{0.010, 0.010, 0.010}
+	blip := []float64{0.010, 0.030, 0.010}
+	for step := 0; step < 12; step++ {
+		tr := healthy
+		if step%3 == 2 { // at most 2 consecutive slow steps never occur
+			tr = blip
+		}
+		if s, ok := d.Observe(mkTrace(tr)); ok {
+			t.Fatalf("transient blip flagged stage %d at step %d", s.Stage, step)
+		}
+	}
+}
+
+func TestObserveSkipsDegenerateTraces(t *testing.T) {
+	d, err := NewStragglerDetector([]float64{0.010, 0.010}, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage count mismatch and zero-compute traces yield no evidence.
+	if _, ok := d.Observe(mkTrace([]float64{0.020, 0.020, 0.020})); ok {
+		t.Error("mismatched stage count triggered")
+	}
+	if _, ok := d.Observe(mkTrace([]float64{0.020, 0})); ok {
+		t.Error("zero-compute trace triggered")
+	}
+}
+
+func TestFaultMetricsRender(t *testing.T) {
+	c := FaultCounters{Stragglers: 3, Panics: 1, Corruptions: 2, Retries: 4, SkippedSteps: 1, WatchdogTrips: 1, Replans: 1}
+	text := RenderProm(FaultMetrics("adapipe_fault", c))
+	for _, want := range []string{
+		`adapipe_fault_injected_total{kind="straggler"} 3`,
+		`adapipe_fault_injected_total{kind="panic"} 1`,
+		`adapipe_fault_injected_total{kind="corrupt"} 2`,
+		`adapipe_fault_retries_total 4`,
+		`adapipe_fault_skipped_steps_total 1`,
+		`adapipe_fault_watchdog_trips_total 1`,
+		`adapipe_fault_replans_total 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	var sum FaultCounters
+	sum.Add(c)
+	sum.Add(c)
+	if sum.Retries != 8 || sum.Replans != 2 {
+		t.Fatalf("Add merged to %+v", sum)
+	}
+}

@@ -1,0 +1,317 @@
+package train
+
+import (
+	"errors"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"adapipe/internal/fault"
+	"adapipe/internal/tensor"
+)
+
+// chaosCfg is the shared toy model for the fault-injection tests: 2 decoder
+// layers (layer sequence length 6), 3 stages.
+var chaosCfg = Config{Layers: 2, Dim: 16, Heads: 2, FFN: 32, Vocab: 20, Seq: 12, Seed: 5}
+
+func chaosBatches(t *testing.T, n int) []Batch {
+	t.Helper()
+	corpus := NewCorpus(chaosCfg.Vocab, 1<<14, 11)
+	return corpus.Batches(n, chaosCfg.Seq, tensor.NewRNG(3))
+}
+
+// TestChaosPanicMidIterationReturnsError is the regression test for the
+// live deadlock bug: a stage panicking mid-iteration must cancel its peers
+// and surface as an error, not hang wg.Wait forever. The watchdog is only a
+// backstop here — cancellation alone must unblock everything long before it.
+func TestChaosPanicMidIterationReturnsError(t *testing.T) {
+	pipe := buildPipe(t, chaosCfg, []int{0, 2, 4, 6})
+	pipe.Fault = fault.MustNew(1, fault.On(fault.Panic).AtStage(1).AtMicro(1).OnPhase(fault.PhaseBackward))
+	pipe.Watchdog = 10 * time.Second
+
+	start := time.Now()
+	_, err := pipe.Accumulate(chaosBatches(t, 4))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Accumulate succeeded despite an injected stage panic")
+	}
+	if !strings.Contains(err.Error(), "fault: injected panic") {
+		t.Fatalf("error %q does not identify the injected panic", err)
+	}
+	if errors.Is(err, ErrWatchdog) {
+		t.Fatalf("panic was only caught by the watchdog backstop: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s; peers were not unblocked promptly", elapsed)
+	}
+}
+
+// TestChaosWatchdogTrips: a straggler delay far beyond the watchdog budget
+// cancels the iteration with ErrWatchdog, and the cancellable injector sleep
+// means the call returns in watchdog time, not delay time.
+func TestChaosWatchdogTrips(t *testing.T) {
+	pipe := buildPipe(t, chaosCfg, []int{0, 3, 6})
+	pipe.Fault = fault.MustNew(1, fault.On(fault.Straggler).AtStage(0).AtMicro(0).WithDelay(time.Minute))
+	pipe.Watchdog = 100 * time.Millisecond
+
+	start := time.Now()
+	_, err := pipe.Accumulate(chaosBatches(t, 4))
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("watchdog return took %s; the injected delay was not cancelled", elapsed)
+	}
+}
+
+// TestChaosRetryBitIdentical: with retry enabled, a run whose step is killed
+// by a transient panic converges to bit-identical losses as a fault-free run
+// of the same DataSeed — retry restores the snapshot and replays the same
+// batches, and the transient rule does not re-fire on the retry attempt.
+func TestChaosRetryBitIdentical(t *testing.T) {
+	rc := RunConfig{
+		Net: chaosCfg, Bounds: []int{0, 2, 4, 6},
+		Steps: 5, MicroBatches: 4, LR: 2e-3, DataSeed: 17,
+	}
+	clean, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted := rc
+	faulted.Fault = fault.MustNew(1, fault.On(fault.Panic).AtStage(2).AtAttempt(2))
+	faulted.Watchdog = 10 * time.Second
+	faulted.Recovery = Recovery{MaxRetries: 2}
+	res, err := Run(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault.Panics != 1 || res.Fault.Retries != 1 {
+		t.Fatalf("fault counters = %+v, want 1 panic and 1 retry", res.Fault)
+	}
+	if len(res.Losses) != len(clean.Losses) {
+		t.Fatalf("faulted run has %d losses, clean run %d", len(res.Losses), len(clean.Losses))
+	}
+	for i := range clean.Losses {
+		if res.Losses[i] != clean.Losses[i] {
+			t.Fatalf("step %d: faulted loss %v != clean loss %v", i, res.Losses[i], clean.Losses[i])
+		}
+	}
+}
+
+// TestNonFiniteGuardSkipsStep: an injected NaN/Inf corruption with no retry
+// budget makes the guard skip the optimizer step — the run completes, the
+// poisoned step's loss is recorded as non-finite, and parameters continue
+// from the last good step (later losses are finite again).
+func TestNonFiniteGuardSkipsStep(t *testing.T) {
+	rc := RunConfig{
+		Net: chaosCfg, Bounds: []int{0, 3, 6},
+		Steps: 4, MicroBatches: 4, LR: 2e-3, DataSeed: 23,
+		Fault:    fault.MustNew(1, fault.On(fault.Corrupt).AtStage(1).AtAttempt(1).OnPhase(fault.PhaseForward)),
+		Recovery: Recovery{GuardNonFinite: true},
+	}
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault.SkippedSteps != 1 {
+		t.Fatalf("skipped steps = %d, want 1", res.Fault.SkippedSteps)
+	}
+	if res.Fault.Corruptions == 0 {
+		t.Fatal("no corruption was injected")
+	}
+	if len(res.Losses) != rc.Steps {
+		t.Fatalf("got %d losses, want %d (skipped steps still complete)", len(res.Losses), rc.Steps)
+	}
+	for i, l := range res.Losses {
+		finite := !math.IsNaN(l) && !math.IsInf(l, 0)
+		if i == 1 && finite {
+			t.Fatalf("step 1 loss %v should be the recorded non-finite value", l)
+		}
+		if i != 1 && !finite {
+			t.Fatalf("step %d loss %v is non-finite; corruption leaked past the guard", i, l)
+		}
+	}
+
+	// The same corruption with retry budget heals completely: bit-identical
+	// to a fault-free run.
+	clean, err := Run(RunConfig{
+		Net: chaosCfg, Bounds: []int{0, 3, 6},
+		Steps: 4, MicroBatches: 4, LR: 2e-3, DataSeed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed := rc
+	healed.Fault = fault.MustNew(1, fault.On(fault.Corrupt).AtStage(1).AtAttempt(1).OnPhase(fault.PhaseForward))
+	healed.Recovery = Recovery{MaxRetries: 1, GuardNonFinite: true}
+	hres, err := Run(healed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.Fault.Retries != 1 || hres.Fault.SkippedSteps != 0 {
+		t.Fatalf("healed counters = %+v, want 1 retry and 0 skips", hres.Fault)
+	}
+	for i := range clean.Losses {
+		if hres.Losses[i] != clean.Losses[i] {
+			t.Fatalf("step %d: healed loss %v != clean loss %v", i, hres.Losses[i], clean.Losses[i])
+		}
+	}
+}
+
+// TestRunTrimsLossesOnError: a mid-run failure with no recovery returns only
+// the completed steps' losses, never a zero-padded tail.
+func TestRunTrimsLossesOnError(t *testing.T) {
+	res, err := Run(RunConfig{
+		Net: chaosCfg, Bounds: []int{0, 3, 6},
+		Steps: 6, MicroBatches: 4, LR: 2e-3, DataSeed: 29,
+		Fault:    fault.MustNew(1, fault.On(fault.Panic).AtAttempt(2)),
+		Watchdog: 10 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("run succeeded despite an unrecovered stage panic")
+	}
+	if len(res.Losses) != 2 {
+		t.Fatalf("got %d losses after failing at step 2, want exactly the 2 completed steps", len(res.Losses))
+	}
+	for i, l := range res.Losses {
+		if l == 0 {
+			t.Fatalf("completed step %d has zero loss; tail padding leaked", i)
+		}
+	}
+	if res.Fault.Panics != 1 {
+		t.Fatalf("fault counters = %+v, want 1 panic", res.Fault)
+	}
+}
+
+// TestRecoveryAcrossRepartition: supervised training survives a mid-run
+// Rebind onto a differently-partitioned pipeline bit-identically — the
+// checkpoint-based handoff used when a replan is adopted.
+func TestRecoveryAcrossRepartition(t *testing.T) {
+	const steps, micros = 6, 4
+	corpus := NewCorpus(chaosCfg.Vocab, 1<<14, 11)
+
+	straight := buildPipe(t, chaosCfg, []int{0, 3, 6})
+	rngA := tensor.NewRNG(8)
+	var want []float64
+	for step := 0; step < steps; step++ {
+		l, err := straight.Step(corpus.Batches(micros, chaosCfg.Seq, rngA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, l)
+	}
+
+	sup, err := NewSupervisor(buildPipe(t, chaosCfg, []int{0, 3, 6}), Recovery{MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngB := tensor.NewRNG(8)
+	var got []float64
+	for step := 0; step < steps; step++ {
+		if step == 3 {
+			// Adopt a new partitioning mid-run, as a replan would. The new
+			// pipeline is built with a different construction seed to prove
+			// the handoff alone determines the state.
+			other := chaosCfg
+			other.Seed = 77
+			if err := sup.Rebind(buildPipe(t, other, []int{0, 2, 4, 6})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l, err := sup.Step(corpus.Batches(micros, chaosCfg.Seq, rngB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, l)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: rebound loss %v != straight loss %v", i, got[i], want[i])
+		}
+	}
+	if sup.StepsCompleted() != steps {
+		t.Fatalf("supervisor completed %d steps, want %d", sup.StepsCompleted(), steps)
+	}
+}
+
+// TestChaosSeededSurvival is the seed-matrix property test make chaos runs:
+// under probabilistic panic, corruption and straggler rules, a run with full
+// recovery either completes with exactly Steps losses whose non-finite count
+// equals the skipped-step count, or fails with a trimmed loss slice — and
+// whenever it completes, its finite prefix losses match a fault-free run
+// wherever no step was skipped. Seed via ADAPIPE_CHAOS_SEED (default 1).
+func TestChaosSeededSurvival(t *testing.T) {
+	seed := uint64(1)
+	if env := os.Getenv("ADAPIPE_CHAOS_SEED"); env != "" {
+		v, err := strconv.ParseUint(env, 10, 64)
+		if err != nil {
+			t.Fatalf("ADAPIPE_CHAOS_SEED=%q: %v", env, err)
+		}
+		seed = v
+	}
+	rc := RunConfig{
+		Net: chaosCfg, Bounds: []int{0, 2, 4, 6},
+		Steps: 6, MicroBatches: 4, LR: 2e-3, DataSeed: 41,
+		Watchdog: 30 * time.Second,
+		Recovery: Recovery{MaxRetries: 6, GuardNonFinite: true},
+	}
+	rc.Fault = fault.MustNew(seed,
+		fault.On(fault.Panic).WithProb(0.01),
+		fault.On(fault.Corrupt).WithProb(0.01),
+		fault.On(fault.Straggler).WithProb(0.05).WithDelay(time.Millisecond),
+	)
+	res, err := Run(rc)
+	if err != nil {
+		if len(res.Losses) >= rc.Steps {
+			t.Fatalf("failed run returned %d losses for %d steps; tail not trimmed", len(res.Losses), rc.Steps)
+		}
+		t.Logf("seed %d exhausted the retry budget after %d steps: %v (counters %+v)",
+			seed, len(res.Losses), err, res.Fault)
+		return
+	}
+	if len(res.Losses) != rc.Steps {
+		t.Fatalf("completed run has %d losses, want %d", len(res.Losses), rc.Steps)
+	}
+	var nonFinite int64
+	for _, l := range res.Losses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			nonFinite++
+		}
+	}
+	if nonFinite != res.Fault.SkippedSteps {
+		t.Fatalf("%d non-finite losses but %d skipped steps", nonFinite, res.Fault.SkippedSteps)
+	}
+
+	clean, err := Run(RunConfig{
+		Net: chaosCfg, Bounds: []int{0, 2, 4, 6},
+		Steps: 6, MicroBatches: 4, LR: 2e-3, DataSeed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault.SkippedSteps == 0 {
+		for i := range clean.Losses {
+			if res.Losses[i] != clean.Losses[i] {
+				t.Fatalf("step %d: survived loss %v != fault-free loss %v (seed %d, counters %+v)",
+					i, res.Losses[i], clean.Losses[i], seed, res.Fault)
+			}
+		}
+	} else {
+		// A skipped step changes the trajectory; the steps before the first
+		// skip must still match exactly.
+		for i := range clean.Losses {
+			if math.IsNaN(res.Losses[i]) || math.IsInf(res.Losses[i], 0) {
+				break
+			}
+			if res.Losses[i] != clean.Losses[i] {
+				t.Fatalf("pre-skip step %d: survived loss %v != fault-free loss %v", i, res.Losses[i], clean.Losses[i])
+			}
+		}
+	}
+	t.Logf("seed %d survived: counters %+v", seed, res.Fault)
+}

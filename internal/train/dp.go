@@ -154,14 +154,17 @@ func RunDataParallel(d int, rc RunConfig) (RunResult, error) {
 	}
 	corpus := NewCorpus(rc.Net.Vocab, 1<<16, rc.DataSeed+7)
 	rng := tensor.NewRNG(rc.DataSeed)
-	res := RunResult{Losses: make([]float64, rc.Steps)}
+	var res RunResult
 	for step := 0; step < rc.Steps; step++ {
 		batches := corpus.Batches(rc.MicroBatches, rc.Net.Seq, rng)
 		loss, err := dp.Step(batches)
 		if err != nil {
+			// Losses holds only the completed steps; the caller must not
+			// mistake a zero tail for converged loss.
+			res.PeakActBytes = dp.Replicas[0].PeakActBytes
 			return res, err
 		}
-		res.Losses[step] = loss
+		res.Losses = append(res.Losses, loss)
 	}
 	res.PeakActBytes = dp.Replicas[0].PeakActBytes
 	return res, nil

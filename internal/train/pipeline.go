@@ -1,6 +1,7 @@
 package train
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -15,6 +16,26 @@ import (
 // compatible with sim.Result via Trace.Result so the trace-package renderers
 // work on measured runs.
 type Trace = obs.Trace
+
+// ErrWatchdog is wrapped by Accumulate when the watchdog timeout expires
+// before the iteration completes; test with errors.Is.
+var ErrWatchdog = errors.New("train: pipeline watchdog timeout")
+
+// FaultInjector is the hook the executor consults around every scheduled op.
+// *fault.Injector satisfies it; the executor depends only on this interface
+// so the fault package stays engine-agnostic (and train stays free of a
+// fault import). All methods must be safe for concurrent use from every
+// stage goroutine.
+type FaultInjector interface {
+	// OpStart runs pre-op faults (straggler delay, injected panic) for the
+	// identified op. cancel closes when the iteration is canceled, so
+	// injected delays must not outlive the pipeline.
+	OpStart(attempt, stage, micro int, backward bool, cancel <-chan struct{})
+	// Corrupt may overwrite elements of the op's output boundary tensor.
+	Corrupt(attempt, stage, micro int, backward bool, data []float64)
+	// InjectedCounts reports how many faults of each kind have fired.
+	InjectedCounts() (stragglers, panics, corruptions int64)
+}
 
 // Pipeline executes synchronous 1F1B pipeline-parallel training: one
 // goroutine per stage, activations flowing forward and gradients backward
@@ -33,6 +54,20 @@ type Pipeline struct {
 	// Accumulate resets it). Nil — the default — keeps the hot path free of
 	// clock reads and recording allocations.
 	Recorder *obs.Recorder
+	// Fault, when non-nil, is consulted around every scheduled op and may
+	// delay it, panic it, or corrupt its output tensor. Nil — the default —
+	// costs one pointer check per op.
+	Fault FaultInjector
+	// Watchdog bounds one Accumulate call; past it the iteration is
+	// canceled and ErrWatchdog returned. Zero disables the watchdog. The
+	// cancellation protocol (every channel op selects on the done channel,
+	// injected delays select on it too) guarantees all stage goroutines
+	// exit promptly once canceled, so firing never leaks goroutines.
+	Watchdog time.Duration
+	// attempt counts Accumulate calls, including retries of the same step,
+	// so attempt-targeted fault rules model transient failures: the fault
+	// fires once and the retry runs clean.
+	attempt int
 }
 
 // NewPipeline wraps stages with per-stage Adam optimizers.
@@ -70,9 +105,27 @@ func (p *Pipeline) ApplyOptimizer(gradScale float64) {
 	}
 }
 
+// ZeroGrads discards accumulated gradients on every stage without touching
+// parameters or optimizer state — how a failed or skipped iteration is
+// erased (parameters only ever change in ApplyOptimizer).
+func (p *Pipeline) ZeroGrads() {
+	for _, s := range p.Stages {
+		for _, prm := range s.Params() {
+			prm.G.Zero()
+		}
+	}
+}
+
 // Accumulate runs the forward and backward passes of one iteration under
 // 1F1B scheduling, accumulating gradients without applying the optimizer.
 // It returns the mean loss across micro-batches.
+//
+// Accumulate is cancellable: every channel operation in the stage goroutines
+// selects on a per-iteration done channel, so when one stage panics (or the
+// watchdog fires) its peers unblock and exit instead of deadlocking
+// wg.Wait on a counterpart that will never send. On any failure the
+// accumulated gradients are partial garbage; callers must ZeroGrads (or
+// restore a checkpoint) before retrying — Supervisor does both.
 func (p *Pipeline) Accumulate(batches []Batch) (float64, error) {
 	n := len(batches)
 	np := len(p.Stages)
@@ -87,127 +140,242 @@ func (p *Pipeline) Accumulate(batches []Batch) (float64, error) {
 	if rec != nil {
 		rec.Reset(np)
 	}
+	attempt := p.attempt
+	p.attempt++
 
-	fwd := make([]chan flowMsg, np-1)
-	bwd := make([]chan flowMsg, np-1)
-	for i := range fwd {
-		fwd[i] = make(chan flowMsg, n)
-		bwd[i] = make(chan flowMsg, n)
+	run := &iterRun{
+		pipe:    p,
+		sched:   sched,
+		batches: batches,
+		attempt: attempt,
+		fwd:     make([]chan flowMsg, np-1),
+		bwd:     make([]chan flowMsg, np-1),
+		losses:  make([]float64, n),
+		errs:    make([]error, np),
+		done:    make(chan struct{}),
 	}
-	losses := make([]float64, n)
-	errs := make([]error, np)
+	for i := range run.fwd {
+		run.fwd[i] = make(chan flowMsg, n)
+		run.bwd[i] = make(chan flowMsg, n)
+	}
 
 	var wg sync.WaitGroup
 	for s := 0; s < np; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[s] = fmt.Errorf("train: stage %d: %v", s, r)
-				}
-			}()
-			stage := p.Stages[s]
-			var sr *obs.StageRecorder
-			if rec != nil {
-				sr = rec.Stage(s)
-			}
-			ctxs := make(map[int]*StageCtx, np)
-			dlogits := make(map[int]*tensor.Mat, np)
-			var live int64
-			for _, op := range sched.Ops[s] {
-				m := op.Micros[0]
-				// Recording brackets each op: the channel receive is
-				// timed as stall, everything after it as compute. Every
-				// recording call sits behind a nil check so the default
-				// (nil recorder) hot path reads no clocks and allocates
-				// nothing extra.
-				var opWait time.Duration
-				var opStart, waitStart time.Time
-				switch op.Kind {
-				case schedule.Forward:
-					var x *tensor.Mat
-					if s > 0 {
-						if sr != nil {
-							waitStart = time.Now()
-						}
-						msg := <-fwd[s-1]
-						if sr != nil {
-							opWait = time.Since(waitStart)
-						}
-						if msg.micro != m {
-							panic(fmt.Sprintf("forward order violation: got micro %d want %d", msg.micro, m))
-						}
-						x = msg.m
-					}
-					if sr != nil {
-						opStart = time.Now()
-					}
-					y, ctx := stage.Forward(batches[m].Tokens, x)
-					ctxs[m] = ctx
-					live += ctx.SavedBytes()
-					if live > p.PeakActBytes[s] {
-						p.PeakActBytes[s] = live
-					}
-					if s == np-1 {
-						if stage.HeadProj == nil {
-							panic("last stage has no head")
-						}
-						loss, dl := CrossEntropy(y, batches[m].Targets)
-						losses[m] = loss
-						dlogits[m] = dl
-					} else {
-						fwd[s] <- flowMsg{micro: m, m: y}
-					}
-					if sr != nil {
-						sr.Record(op, opStart, time.Now(), opWait, live)
-					}
-				case schedule.Backward:
-					var dy *tensor.Mat
-					if s == np-1 {
-						dy = dlogits[m]
-						delete(dlogits, m)
-					} else {
-						if sr != nil {
-							waitStart = time.Now()
-						}
-						msg := <-bwd[s]
-						if sr != nil {
-							opWait = time.Since(waitStart)
-						}
-						if msg.micro != m {
-							panic(fmt.Sprintf("backward order violation: got micro %d want %d", msg.micro, m))
-						}
-						dy = msg.m
-					}
-					if sr != nil {
-						opStart = time.Now()
-					}
-					ctx := ctxs[m]
-					live -= ctx.SavedBytes()
-					delete(ctxs, m)
-					dx := stage.Backward(ctx, dy)
-					if s > 0 {
-						bwd[s-1] <- flowMsg{micro: m, m: dx}
-					}
-					if sr != nil {
-						sr.Record(op, opStart, time.Now(), opWait, live)
-					}
-				}
-			}
+			run.stage(s)
 		}(s)
 	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return 0, e
+
+	if p.Watchdog > 0 {
+		waited := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(waited)
+		}()
+		timer := time.NewTimer(p.Watchdog)
+		defer timer.Stop()
+		select {
+		case <-waited:
+		case <-timer.C:
+			// Cancel and then wait for every stage goroutine to exit: the
+			// done-channel selects make that prompt, and returning only
+			// after wg.Wait means no goroutine outlives the call to race
+			// on losses/PeakActBytes.
+			run.cancel()
+			<-waited
+			if err := firstErr(run.errs); err != nil {
+				return 0, err
+			}
+			return 0, fmt.Errorf("train: iteration exceeded %s: %w", p.Watchdog, ErrWatchdog)
 		}
+	} else {
+		wg.Wait()
+	}
+	if err := firstErr(run.errs); err != nil {
+		return 0, err
 	}
 	var mean float64
-	for _, l := range losses {
+	for _, l := range run.losses {
 		mean += l
 	}
 	return mean / float64(n), nil
+}
+
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// iterRun is the shared state of one Accumulate call: the schedule, the
+// inter-stage channels, and the cancellation plumbing.
+type iterRun struct {
+	pipe    *Pipeline
+	sched   *schedule.Schedule
+	batches []Batch
+	attempt int
+	fwd     []chan flowMsg
+	bwd     []chan flowMsg
+	losses  []float64
+	errs    []error
+	done    chan struct{}
+	once    sync.Once
+}
+
+// cancel unblocks every stage goroutine; idempotent.
+func (r *iterRun) cancel() {
+	r.once.Do(func() { close(r.done) })
+}
+
+// recv receives from ch unless the iteration is canceled first.
+func (r *iterRun) recv(ch chan flowMsg) (flowMsg, bool) {
+	select {
+	case msg := <-ch:
+		return msg, true
+	case <-r.done:
+		return flowMsg{}, false
+	}
+}
+
+// send sends on ch unless the iteration is canceled first.
+func (r *iterRun) send(ch chan flowMsg, msg flowMsg) bool {
+	select {
+	case ch <- msg:
+		return true
+	case <-r.done:
+		return false
+	}
+}
+
+// stage runs stage s's schedule row. A panic (a real executor bug or an
+// injected fault) is recovered into errs[s] and cancels the iteration so
+// peer stages blocked on this one unblock and exit.
+func (r *iterRun) stage(s int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.errs[s] = fmt.Errorf("train: stage %d: %v", s, rec)
+			r.cancel()
+		}
+	}()
+	p := r.pipe
+	np := len(p.Stages)
+	stage := p.Stages[s]
+	fi := p.Fault
+	var sr *obs.StageRecorder
+	if p.Recorder != nil {
+		sr = p.Recorder.Stage(s)
+	}
+	ctxs := make(map[int]*StageCtx, np)
+	dlogits := make(map[int]*tensor.Mat, np)
+	var live int64
+	for _, op := range r.sched.Ops[s] {
+		m := op.Micros[0]
+		// Recording brackets each op: the channel receive is timed as
+		// stall, everything after it as compute. Every recording call sits
+		// behind a nil check so the default (nil recorder) hot path reads
+		// no clocks and allocates nothing extra. Injected faults run
+		// inside the compute bracket, so straggler delay is indistinguishable
+		// from slow compute — which is what the straggler detector keys on.
+		var opWait time.Duration
+		var opStart, waitStart time.Time
+		switch op.Kind {
+		case schedule.Forward:
+			var x *tensor.Mat
+			if s > 0 {
+				if sr != nil {
+					waitStart = time.Now()
+				}
+				msg, ok := r.recv(r.fwd[s-1])
+				if !ok {
+					return
+				}
+				if sr != nil {
+					opWait = time.Since(waitStart)
+				}
+				if msg.micro != m {
+					panic(fmt.Sprintf("forward order violation: got micro %d want %d", msg.micro, m))
+				}
+				x = msg.m
+			}
+			if sr != nil {
+				opStart = time.Now()
+			}
+			if fi != nil {
+				fi.OpStart(r.attempt, s, m, false, r.done)
+			}
+			y, ctx := stage.Forward(r.batches[m].Tokens, x)
+			if fi != nil {
+				fi.Corrupt(r.attempt, s, m, false, y.Data)
+			}
+			ctxs[m] = ctx
+			live += ctx.SavedBytes()
+			if live > p.PeakActBytes[s] {
+				p.PeakActBytes[s] = live
+			}
+			if s == np-1 {
+				if stage.HeadProj == nil {
+					panic("last stage has no head")
+				}
+				loss, dl := CrossEntropy(y, r.batches[m].Targets)
+				r.losses[m] = loss
+				dlogits[m] = dl
+			} else {
+				if !r.send(r.fwd[s], flowMsg{micro: m, m: y}) {
+					return
+				}
+			}
+			if sr != nil {
+				sr.Record(op, opStart, time.Now(), opWait, live)
+			}
+		case schedule.Backward:
+			var dy *tensor.Mat
+			if s == np-1 {
+				dy = dlogits[m]
+				delete(dlogits, m)
+			} else {
+				if sr != nil {
+					waitStart = time.Now()
+				}
+				msg, ok := r.recv(r.bwd[s])
+				if !ok {
+					return
+				}
+				if sr != nil {
+					opWait = time.Since(waitStart)
+				}
+				if msg.micro != m {
+					panic(fmt.Sprintf("backward order violation: got micro %d want %d", msg.micro, m))
+				}
+				dy = msg.m
+			}
+			if sr != nil {
+				opStart = time.Now()
+			}
+			if fi != nil {
+				fi.OpStart(r.attempt, s, m, true, r.done)
+			}
+			ctx := ctxs[m]
+			live -= ctx.SavedBytes()
+			delete(ctxs, m)
+			dx := stage.Backward(ctx, dy)
+			if s > 0 {
+				if fi != nil {
+					fi.Corrupt(r.attempt, s, m, true, dx.Data)
+				}
+				if !r.send(r.bwd[s-1], flowMsg{micro: m, m: dx}) {
+					return
+				}
+			}
+			if sr != nil {
+				sr.Record(op, opStart, time.Now(), opWait, live)
+			}
+		}
+	}
 }
 
 // RunConfig describes a full training run.
@@ -234,17 +402,29 @@ type RunConfig struct {
 	// iteration, free of allocator warm-up). Off by default: recording
 	// reads two clocks per channel op and allocates span buffers.
 	Record bool
+	// Fault optionally injects faults into every iteration (see
+	// internal/fault). Nil disables injection.
+	Fault FaultInjector
+	// Watchdog bounds each iteration's wall time; zero disables it.
+	Watchdog time.Duration
+	// Recovery configures step-level retry and the non-finite guard; the
+	// zero value disables both (failures abort the run).
+	Recovery Recovery
 }
 
 // RunResult is a completed training run.
 type RunResult struct {
-	// Losses is the per-step mean loss (the Figure 10 curve).
+	// Losses is the per-step mean loss (the Figure 10 curve). On a mid-run
+	// error it holds only the completed steps, so the tail cannot be
+	// mistaken for converged loss.
 	Losses []float64
 	// PeakActBytes is the per-stage live-activation high-water mark.
 	PeakActBytes []int64
 	// Trace is the measured trace of the final step when RunConfig.Record
 	// was set; nil otherwise.
 	Trace *Trace
+	// Fault counts injected faults and recovery actions over the run.
+	Fault obs.FaultCounters
 }
 
 // Run builds a network, partitions it, and trains it on a synthetic corpus.
@@ -258,23 +438,34 @@ func Run(rc RunConfig) (RunResult, error) {
 		return RunResult{}, err
 	}
 	pipe := NewPipeline(stages, rc.LR)
+	pipe.Fault = rc.Fault
+	pipe.Watchdog = rc.Watchdog
 	if rc.Record {
 		pipe.Recorder = obs.NewRecorder()
 	}
+	sup, err := NewSupervisor(pipe, rc.Recovery)
+	if err != nil {
+		return RunResult{}, err
+	}
 	corpus := NewCorpus(rc.Net.Vocab, 1<<16, rc.DataSeed+7)
 	rng := tensor.NewRNG(rc.DataSeed)
-	res := RunResult{Losses: make([]float64, rc.Steps)}
+	var res RunResult
+	finish := func() {
+		res.PeakActBytes = pipe.PeakActBytes
+		res.Fault = sup.Counters()
+		if pipe.Recorder != nil {
+			res.Trace = pipe.Recorder.Trace()
+		}
+	}
 	for step := 0; step < rc.Steps; step++ {
 		batches := corpus.Batches(rc.MicroBatches, rc.Net.Seq, rng)
-		loss, err := pipe.Step(batches)
+		loss, err := sup.Step(batches)
 		if err != nil {
+			finish()
 			return res, err
 		}
-		res.Losses[step] = loss
+		res.Losses = append(res.Losses, loss)
 	}
-	res.PeakActBytes = pipe.PeakActBytes
-	if pipe.Recorder != nil {
-		res.Trace = pipe.Recorder.Trace()
-	}
+	finish()
 	return res, nil
 }

@@ -1,0 +1,190 @@
+package train
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"adapipe/internal/obs"
+)
+
+// ErrNonFinite is wrapped by the supervisor's guard when a step produces a
+// NaN/Inf loss or gradient; test with errors.Is.
+var ErrNonFinite = errors.New("train: non-finite loss or gradient")
+
+// Recovery is the step-level failure policy. The zero value disables
+// recovery entirely: any iteration failure aborts the run, matching the
+// pre-recovery engine.
+type Recovery struct {
+	// MaxRetries bounds how many times one step is retried after an
+	// iteration error or guard trip. Each retry restores parameters and
+	// Adam state from the in-memory snapshot of the last completed step,
+	// so a successful retry is bit-identical to a fault-free step.
+	MaxRetries int
+	// Backoff is the base sleep before retry k sleeps Backoff << k;
+	// zero retries immediately.
+	Backoff time.Duration
+	// GuardNonFinite scans the loss and every accumulated gradient before
+	// the optimizer step; a NaN/Inf triggers a retry, and once the retry
+	// budget is spent the step is skipped (gradients discarded, parameters
+	// untouched) instead of poisoning the model.
+	GuardNonFinite bool
+}
+
+func (r Recovery) enabled() bool { return r.MaxRetries > 0 || r.GuardNonFinite }
+
+// Supervisor drives a pipeline step-by-step and applies the Recovery policy:
+// snapshot after every completed step, guard before every optimizer step,
+// bounded retry-with-backoff from the snapshot on failure. It is the engine
+// half of the fault-tolerance layer (internal/fault is the attack half).
+type Supervisor struct {
+	// Pipe is the supervised pipeline; Rebind swaps it mid-run.
+	Pipe *Pipeline
+	// Policy is the recovery policy, fixed at construction.
+	Policy Recovery
+	// Stats counts recovery actions (retries, skips, watchdog trips).
+	// Injected-fault counts live in the injector; Counters merges both.
+	Stats obs.FaultCounters
+
+	snapshot []byte
+	step     int
+}
+
+// NewSupervisor wraps a pipeline. With retries enabled it snapshots the
+// initial parameters and optimizer state so even step 0 can be retried.
+func NewSupervisor(p *Pipeline, policy Recovery) (*Supervisor, error) {
+	sup := &Supervisor{Pipe: p, Policy: policy}
+	if policy.MaxRetries > 0 {
+		if err := sup.snap(); err != nil {
+			return nil, err
+		}
+	}
+	return sup, nil
+}
+
+// StepsCompleted reports how many steps have finished (applied or skipped).
+func (sup *Supervisor) StepsCompleted() int { return sup.step }
+
+// Counters returns recovery stats merged with the injector's fault counts.
+func (sup *Supervisor) Counters() obs.FaultCounters {
+	c := sup.Stats
+	if fi := sup.Pipe.Fault; fi != nil {
+		c.Stragglers, c.Panics, c.Corruptions = fi.InjectedCounts()
+	}
+	return c
+}
+
+// Step runs one training iteration under the recovery policy. On success the
+// optimizer is applied and a fresh snapshot taken. An iteration error or
+// guard trip is retried up to MaxRetries times from the snapshot; a guard
+// trip that exhausts the budget skips the optimizer step (returning the
+// non-finite loss and a nil error so the run continues); an iteration error
+// that exhausts the budget is returned.
+func (sup *Supervisor) Step(batches []Batch) (float64, error) {
+	for try := 0; ; try++ {
+		loss, err := sup.Pipe.Accumulate(batches)
+		if err == nil {
+			if !sup.Policy.GuardNonFinite || sup.finite(loss) {
+				sup.Pipe.ApplyOptimizer(float64(len(batches)))
+				sup.step++
+				if sup.Policy.MaxRetries > 0 {
+					if serr := sup.snap(); serr != nil {
+						return loss, serr
+					}
+				}
+				return loss, nil
+			}
+			err = fmt.Errorf("train: step %d: %w", sup.step, ErrNonFinite)
+		}
+		if errors.Is(err, ErrWatchdog) {
+			sup.Stats.WatchdogTrips++
+		}
+		if try < sup.Policy.MaxRetries {
+			sup.Stats.Retries++
+			if rerr := sup.restore(); rerr != nil {
+				return 0, rerr
+			}
+			if sup.Policy.Backoff > 0 {
+				time.Sleep(sup.Policy.Backoff << try)
+			}
+			continue
+		}
+		if errors.Is(err, ErrNonFinite) {
+			// Retry budget spent on a numeric blow-up: discard the poisoned
+			// gradients and move on. Parameters are untouched (they only
+			// change in ApplyOptimizer), so training continues from the
+			// last good step; the recorded loss is the non-finite one.
+			sup.Pipe.ZeroGrads()
+			sup.Stats.SkippedSteps++
+			sup.step++
+			return loss, nil
+		}
+		return 0, err
+	}
+}
+
+// Rebind moves supervised training onto a re-partitioned pipeline: the
+// current parameters and optimizer state are checkpointed out of the old
+// pipeline and restored (by parameter name) into the new one, which then
+// inherits the fault injector, watchdog and recorder. This is how a
+// straggler-driven replan is adopted mid-run without losing progress.
+func (sup *Supervisor) Rebind(next *Pipeline) error {
+	b, err := sup.Pipe.CheckpointBytes(sup.step)
+	if err != nil {
+		return err
+	}
+	if _, err := next.LoadCheckpoint(bytes.NewReader(b)); err != nil {
+		return err
+	}
+	next.Fault = sup.Pipe.Fault
+	next.Watchdog = sup.Pipe.Watchdog
+	next.Recorder = sup.Pipe.Recorder
+	sup.Pipe = next
+	if sup.Policy.MaxRetries > 0 {
+		sup.snapshot = b
+	}
+	return nil
+}
+
+// snap captures the post-step parameters and optimizer state in memory.
+func (sup *Supervisor) snap() error {
+	b, err := sup.Pipe.CheckpointBytes(sup.step)
+	if err != nil {
+		return err
+	}
+	sup.snapshot = b
+	return nil
+}
+
+// restore rewinds to the last snapshot. Without one (guard-only policy)
+// discarding gradients is sufficient: a failed Accumulate never touches
+// parameters or optimizer state.
+func (sup *Supervisor) restore() error {
+	if sup.snapshot == nil {
+		sup.Pipe.ZeroGrads()
+		return nil
+	}
+	if _, err := sup.Pipe.LoadCheckpoint(bytes.NewReader(sup.snapshot)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// finite reports whether the loss and every accumulated gradient are finite.
+func (sup *Supervisor) finite(loss float64) bool {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return false
+	}
+	for _, s := range sup.Pipe.Stages {
+		for _, prm := range s.Params() {
+			for _, v := range prm.G.Data {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
