@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin/adapipevet
 
-.PHONY: all build lint test race observe chaos ci clean
+.PHONY: all build lint test race bench observe chaos ci clean
 
 all: build
 
@@ -24,10 +24,21 @@ lint: $(BIN)
 test:
 	$(GO) test ./...
 
-# race exercises the concurrent packages (the 1F1B executor and simulator)
-# under the race detector.
+# race exercises the concurrent packages under the race detector: the 1F1B
+# executor and simulator in full, plus the parallel-search suite (concurrent
+# planners, worker-sharded DP, differential parallel-vs-serial checks) of the
+# planner packages — run-filtered so the GPT-3-scale timing tests stay out of
+# the slow race build.
 race:
-	$(GO) test -race ./internal/train/... ./internal/sim/...
+	$(GO) test -race ./internal/train/... ./internal/sim/... ./internal/pool/...
+	$(GO) test -race -run 'Concurrent|Parallel|Workers' ./internal/core/... ./internal/partition/...
+
+# bench runs the planner search benchmarks (serial vs parallel, replan) and
+# writes BENCH_planner.json: ns/op for both modes, the measured speedup, and
+# the search-effort counters (knapsack runs, iso-cache hit rate). CI uploads
+# the file as an artifact so search-performance regressions leave a trail.
+bench:
+	$(GO) run ./cmd/planbench -workers 8 -o BENCH_planner.json
 
 # observe runs the observability demo end to end: plan, execute with the op
 # recorder, simulate, and emit the drift report plus Chrome-trace/metrics
@@ -47,7 +58,7 @@ chaos:
 	$(GO) run ./examples/chaos
 
 # ci is the full gate the GitHub Actions workflow runs.
-ci: build lint test race observe chaos
+ci: build lint test race bench observe chaos
 
 clean:
-	rm -rf bin observe-out
+	rm -rf bin observe-out BENCH_planner.json

@@ -1,6 +1,7 @@
 package adapipe_test
 
 import (
+	"runtime"
 	"testing"
 
 	"adapipe"
@@ -127,6 +128,59 @@ func BenchmarkSearchAdaPipe(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pl := gptPlanner(b, core.DefaultOptions())
 		if _, err := pl.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanSearch is the serial baseline of the parallel-search pair:
+// the full GPT-3 two-level DP at Workers=1. Compare against
+// BenchmarkPlanSearchParallel (cmd/planbench runs the same pair and writes
+// BENCH_planner.json).
+func BenchmarkPlanSearch(b *testing.B) {
+	b.ReportAllocs()
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	for i := 0; i < b.N; i++ {
+		pl := gptPlanner(b, opts)
+		if _, err := pl.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanSearchParallel is the same search with the knapsack prefill
+// and partition DP fanned across GOMAXPROCS workers. The plan is
+// byte-identical to the serial one (TestParallelPlanMatchesSerial); only the
+// wall time may differ.
+func BenchmarkPlanSearchParallel(b *testing.B) {
+	b.ReportAllocs()
+	opts := core.DefaultOptions()
+	opts.Workers = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		pl := gptPlanner(b, opts)
+		if _, err := pl.Plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplanWithScale times one straggler-driven replanning round —
+// reprice the incumbent, re-search under scaled costs, simulate both — with
+// the planner and incumbent plan built outside the timer.
+func BenchmarkReplanWithScale(b *testing.B) {
+	b.ReportAllocs()
+	opts := core.DefaultOptions()
+	opts.Workers = runtime.GOMAXPROCS(0)
+	pl := gptPlanner(b, opts)
+	plan, err := pl.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := []float64{1, 1, 1.25, 1, 1, 1, 1, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.ReplanWithScale(plan, scale); err != nil {
 			b.Fatal(err)
 		}
 	}

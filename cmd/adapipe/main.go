@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"adapipe"
@@ -39,6 +40,7 @@ func main() {
 		memcsv    = flag.String("memcsv", "", "write the per-device memory timeline as CSV to this file")
 		traceOut  = flag.String("trace", "", "write the simulated timeline as Chrome-trace JSON (chrome://tracing, Perfetto) to this file")
 		metrics   = flag.String("metrics", "", "write search and simulation metrics in Prometheus text format to this file")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "search worker-pool size; 1 runs fully serial (plans are identical either way)")
 
 		chaos      = flag.Bool("chaos", false, "run a seeded fault-injection survival check on the live engine and exit")
 		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault-injection seed for -chaos")
@@ -76,9 +78,11 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	opts := adapipe.DefaultOptions()
+	opts.Workers = *workers
 
 	if *sweep {
-		best, all := adapipe.Best(meth, m, cl, *devices, train, adapipe.DefaultOptions())
+		best, all := adapipe.Best(meth, m, cl, *devices, train, opts)
 		fmt.Printf("%d candidate strategies evaluated for %d devices:\n", len(all), *devices)
 		for _, o := range all {
 			if o.Feasible() {
@@ -98,7 +102,7 @@ func main() {
 	}
 
 	strat := adapipe.Strategy{TP: *tp, PP: *pp, DP: *dp}
-	o := adapipe.Evaluate(meth, m, cl, strat, train, adapipe.DefaultOptions())
+	o := adapipe.Evaluate(meth, m, cl, strat, train, opts)
 	if o.Err != nil {
 		fatalf("%v", o.Err)
 	}

@@ -1,0 +1,128 @@
+// Command planbench benchmarks the planner search — serial vs parallel, plus
+// straggler-driven replanning — on the paper's GPT-3 configuration and writes
+// the machine-readable record to BENCH_planner.json (`make bench`; CI uploads
+// it as an artifact). The report carries ns/op for both modes, the measured
+// parallel speedup, and the search-effort counters (knapsack runs, iso-cache
+// hit rate) so a wall-time regression can be traced to the work behind it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"adapipe/internal/core"
+	"adapipe/internal/hardware"
+	"adapipe/internal/model"
+	"adapipe/internal/obs"
+	"adapipe/internal/parallel"
+)
+
+func gptPlanner(workers int) (*core.Planner, error) {
+	opts := core.DefaultOptions()
+	opts.Workers = workers
+	return core.NewPlanner(model.GPT3_175B(), hardware.ClusterA(),
+		parallel.Strategy{TP: 8, PP: 8, DP: 1},
+		parallel.Config{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384}, opts)
+}
+
+func benchSearch(workers int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pl, err := gptPlanner(workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pl.Plan(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchReplan(workers int) (testing.BenchmarkResult, error) {
+	pl, err := gptPlanner(workers)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	plan, err := pl.Plan()
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	scale := make([]float64, 8)
+	for i := range scale {
+		scale[i] = 1
+	}
+	scale[2] = 1.25 // one degraded stage, the straggler-replanning scenario
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.ReplanWithScale(plan, scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return res, nil
+}
+
+func run(name string, r testing.BenchmarkResult) obs.BenchRun {
+	return obs.BenchRun{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func main() {
+	workers := flag.Int("workers", 8, "worker-pool size of the parallel runs")
+	out := flag.String("o", "BENCH_planner.json", "output path for the JSON report")
+	flag.Parse()
+
+	serial := benchSearch(1)
+	par := benchSearch(*workers)
+	replan, err := benchReplan(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planbench:", err)
+		os.Exit(1)
+	}
+
+	// One instrumented search ties the wall times to the work they bought.
+	pl, err := gptPlanner(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planbench:", err)
+		os.Exit(1)
+	}
+	if _, err := pl.Plan(); err != nil {
+		fmt.Fprintln(os.Stderr, "planbench:", err)
+		os.Exit(1)
+	}
+
+	report := obs.BenchReport{
+		Model:           "GPT-3 175B",
+		Shape:           fmt.Sprintf("L=%d p=8 n=%d", pl.LayerCount(), pl.MicroBatches()),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Workers:         *workers,
+		SpeedupParallel: float64(serial.NsPerOp()) / float64(par.NsPerOp()),
+		KnapsackRuns:    pl.Stats.KnapsackRuns,
+		CacheHitRate:    pl.Stats.CacheHitRate(),
+		Runs: []obs.BenchRun{
+			run("PlanSearch/serial", serial),
+			run(fmt.Sprintf("PlanSearch/parallel-%d", *workers), par),
+			run("ReplanWithScale", replan),
+		},
+	}
+	if err := obs.WriteBenchJSON(*out, report); err != nil {
+		fmt.Fprintln(os.Stderr, "planbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("planbench: serial %v/op, parallel(%d) %v/op, speedup %.2fx on %d CPUs; replan %v/op\n",
+		time.Duration(serial.NsPerOp()), *workers, time.Duration(par.NsPerOp()),
+		report.SpeedupParallel, report.GoMaxProcs, time.Duration(replan.NsPerOp()))
+	fmt.Printf("planbench: wrote %s\n", *out)
+}

@@ -78,6 +78,51 @@ func MaxUnits(saved map[string]int) float64 {
 	return best
 }
 
+// MergeWorkerResults folds per-worker result maps into one, appending the
+// values in map-iteration order — the parallel-search merge bug the analyzer
+// exists to catch: whichever worker's entries happen to range first decides
+// the merged order, so two runs of the same search serialize differently.
+func MergeWorkerResults(byWorker []map[string]float64) []float64 {
+	var merged []float64
+	for _, results := range byWorker {
+		for _, v := range results { // want `range over map results has an order-dependent body`
+			merged = append(merged, v)
+		}
+	}
+	return merged
+}
+
+// MergeWorkerResultsSorted is the deterministic merge the parallel search
+// uses: each worker's keys are sorted before the fold, so the merged slice is
+// a pure function of the map contents. Not flagged.
+func MergeWorkerResultsSorted(byWorker []map[string]float64) []float64 {
+	var merged []float64
+	for _, results := range byWorker {
+		keys := make([]string, 0, len(results))
+		for k := range results { // collecting keys for the sort below: not flagged
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			merged = append(merged, results[k])
+		}
+	}
+	return merged
+}
+
+// MergeWorkerCounters sums per-worker counter maps into a shared tally —
+// commutative integer addition keyed by the entry's own key, so worker and
+// iteration order cannot show. Not flagged.
+func MergeWorkerCounters(byWorker []map[string]int) map[string]int {
+	merged := map[string]int{}
+	for _, counters := range byWorker {
+		for k, v := range counters {
+			merged[k] += v
+		}
+	}
+	return merged
+}
+
 // Suppressed carries an explicit ignore directive.
 func Suppressed(saved map[string]int) []int {
 	var out []int

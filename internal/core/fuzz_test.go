@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"adapipe/internal/hardware"
+	"adapipe/internal/model"
+	"adapipe/internal/parallel"
+)
+
+// FuzzPlannerPlanRoundTrip drives the full search over arbitrary small
+// configurations — including degenerate shapes like one layer per stage and
+// near-zero memory budgets — asserting the planner never panics, and that
+// every produced plan survives marshal → unmarshal → Validate → re-marshal
+// with byte-identical JSON (the serialization contract execution engines
+// rely on).
+func FuzzPlannerPlanRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint8(4), uint8(0), uint8(0), uint8(1))
+	f.Add(uint8(3), uint8(8), uint8(8), uint8(1), uint8(1), uint8(4)) // L == p
+	f.Add(uint8(6), uint8(4), uint8(8), uint8(9), uint8(2), uint8(8)) // tiny budget
+	f.Add(uint8(15), uint8(8), uint8(16), uint8(0), uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, dec8, pp8, n8, res8, part8, workers8 uint8) {
+		decoders := int(dec8%15) + 1
+		L := 2*decoders + 2
+		pp := int(pp8%uint8(L)) + 1
+		if pp > 64 { // ClusterA has 64 devices at TP=1
+			pp = 64
+		}
+		n := pp + int(n8%16)
+		// reserve sweeps [0, 0.99]: high values shrink the DP budget toward
+		// zero, the "capacity 0" degenerate case.
+		reserve := float64(res8%100) / 100
+		part := []PartitionMode{PartitionAdaptive, PartitionEven, PartitionExact}[part8%3]
+		workers := int(workers8 % 9)
+
+		cfg := model.Tiny(decoders)
+		cl := hardware.ClusterA()
+		strat := parallel.Strategy{TP: 1, PP: pp, DP: 1}
+		train := parallel.Config{GlobalBatch: n, MicroBatch: 1, SeqLen: 1024}
+		opts := DefaultOptions()
+		opts.MemoryReserve = reserve
+		opts.Recompute = RecomputeAdaptive
+		opts.Partition = part
+		opts.Workers = workers
+		pl, err := NewPlanner(cfg, cl, strat, train, opts)
+		if err != nil {
+			t.Skip() // invalid configuration, rejected up front
+		}
+		p, err := pl.Plan()
+		if err != nil {
+			return // infeasible (e.g. budget too small) — no plan to round-trip
+		}
+
+		first, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Plan
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if err := back.Validate(pl.LayerCount()); err != nil {
+			t.Fatalf("round-tripped plan invalid: %v", err)
+		}
+		second, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("round trip not lossless:\n%s\nvs\n%s", first, second)
+		}
+	})
+}

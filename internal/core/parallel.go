@@ -1,0 +1,120 @@
+package core
+
+import (
+	"time"
+
+	"adapipe/internal/pool"
+	"adapipe/internal/recompute"
+)
+
+// workerCount resolves the Options.Workers knob: values <= 1 select the
+// serial search.
+func (pl *Planner) workerCount() int {
+	if pl.opts.Workers <= 1 {
+		return 1
+	}
+	return pl.opts.Workers
+}
+
+// prefillTask is one representative (s, i, j) range for a distinct
+// isomorphism class the partition DP may evaluate.
+type prefillTask struct {
+	key     costKey
+	s, i, j int
+}
+
+// prefillCosts solves every stage cost the partition DP can touch, fanned
+// across the worker pool, and merges the results into the isomorphic-range
+// cache. This is the parallel heart of the search: the per-(stage,
+// iso-class) knapsack solves are mutually independent, so they are the part
+// worth parallelizing — the DP itself then runs against a warm cache where
+// every lookup is a hit.
+//
+// Determinism: the task list is enumerated in a fixed order, each task's
+// solve is a pure function of immutable planner state, results are keyed by
+// task index, and the merge walks the task list in index order after all
+// workers have joined. Per-worker counters (SearchStats shards, busy time)
+// are merged in worker order; all are commutative sums. Nothing observable
+// depends on which worker ran which task, so the produced plans are
+// byte-identical to the serial search (TestParallelPlanMatchesSerial).
+//
+// The enumerated domain is a superset of what the lazy serial search touches
+// (the serial DP skips ranges whose successor state is infeasible), so
+// parallel SearchStats may count somewhat more knapsack runs than serial —
+// the plan, however, never differs.
+func (pl *Planner) prefillCosts(workers int) {
+	L := len(pl.layers)
+	p := pl.strat.PP
+
+	// Enumerate one representative per missing iso class, under the lock
+	// (map reads of pl.cache); the scan itself is cheap relative to solves.
+	var tasks []prefillTask
+	pl.mu.Lock()
+	seen := make(map[costKey]bool, len(pl.cache))
+	add := func(s, i, j int) {
+		key := pl.isoKey(s, i, j)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if _, cached := pl.cache[key]; cached {
+			return
+		}
+		tasks = append(tasks, prefillTask{key: key, s: s, i: i, j: j})
+	}
+	// Base level: the last stage takes everything that remains.
+	for i := 0; i < L; i++ {
+		add(p-1, i, L-1)
+	}
+	// Upper levels: stage s may cover [i, j] with i <= j <= L-p+s so every
+	// later stage keeps at least one layer.
+	for s := p - 2; s >= 0; s-- {
+		for i := 0; i <= L-p+s; i++ {
+			for j := i; j <= L-p+s; j++ {
+				add(s, i, j)
+			}
+		}
+	}
+	pl.mu.Unlock()
+	if len(tasks) == 0 {
+		return
+	}
+
+	workers = pool.Clamp(workers, len(tasks))
+	results := make([]stageCost, len(tasks))
+	statsW := make([]SearchStats, workers)
+	busy := make([]time.Duration, workers)
+	solvers := make([]*recompute.Solver, workers)
+	for w := range solvers {
+		solvers[w] = recompute.NewSolver()
+	}
+	wallStart := time.Now()
+	pool.Run(workers, len(tasks), func(w, i int) {
+		t := tasks[i]
+		start := time.Now()
+		results[i] = pl.solveStage(t.s, t.i, t.j, solvers[w], &statsW[w])
+		busy[w] += time.Since(start)
+	})
+	wall := time.Since(wallStart)
+
+	pl.mu.Lock()
+	for i, t := range tasks {
+		// A concurrent Plan call may have raced a key in; first write wins
+		// (all writers compute identical values).
+		if _, cached := pl.cache[t.key]; !cached {
+			pl.cache[t.key] = results[i]
+		}
+	}
+	// Each prefill solve is one cost evaluation served without a cache hit,
+	// matching what the serial miss path would have counted.
+	pl.Stats.CostEvaluations += len(tasks)
+	for w := range statsW {
+		pl.Stats.KnapsackRuns += statsW[w].KnapsackRuns
+		pl.Stats.KnapsackCells += statsW[w].KnapsackCells
+		pl.Stats.QuantaBeforeGCD += statsW[w].QuantaBeforeGCD
+		pl.Stats.QuantaAfterGCD += statsW[w].QuantaAfterGCD
+		pl.Stats.ParallelBusy += busy[w]
+	}
+	pl.Stats.ParallelWall += wall
+	pl.mu.Unlock()
+}

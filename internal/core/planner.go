@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"adapipe/internal/hardware"
@@ -117,6 +118,13 @@ type Options struct {
 	// the peak consumption of OOM configurations (Figure 8). It has no
 	// effect on the adaptive search, which needs the constraint.
 	IgnoreMemoryLimit bool
+	// Workers bounds the planner's worker pool: the independent per-
+	// (stage, iso-class) knapsack solves are fanned across Workers
+	// goroutines before the partition DP runs, and the DP's per-level cells
+	// are sharded the same way. 0 or 1 selects the fully serial search.
+	// Plans are byte-identical for every value — parallelism changes wall
+	// time only, never the result (see TestParallelPlanMatchesSerial).
+	Workers int
 }
 
 // DefaultOptions returns the configuration used in the evaluation.
@@ -225,13 +233,24 @@ type Planner struct {
 	layers []model.Layer
 	n      int
 
+	// mu guards cache, Stats, scale and solver. Everything above it is
+	// immutable after construction. Concurrent Plan/CostFor calls on one
+	// planner are safe (TestPlannerConcurrent); the heavy solves run
+	// outside the lock in the prefill workers.
+	mu    sync.Mutex
 	cache map[costKey]stageCost
 	// scale holds per-stage compute-cost multipliers (nil = all 1), set by
 	// SetStageScale when a live run observes a degraded stage. Applied on
-	// top of the cache, which stores nominal costs only.
+	// top of the cache, which stores nominal costs only. The slice is
+	// replaced wholesale, never mutated in place, so a reference read under
+	// mu stays consistent after unlock.
 	scale []float64
+	// solver is the serial-path knapsack scratch arena, used only under mu;
+	// prefill workers carry their own.
+	solver *recompute.Solver
 	// Stats accumulates search-effort counters across Plan calls (the cost
 	// cache persists, so the counters do too); each Plan carries a snapshot.
+	// Read it only after all concurrent Plan calls have returned.
 	Stats SearchStats
 }
 
@@ -295,6 +314,7 @@ func NewPlannerWithProfile(cfg model.Config, cluster hardware.Cluster, strat par
 		layers:  cfg.LayerSequence(),
 		n:       n,
 		cache:   make(map[costKey]stageCost),
+		solver:  recompute.NewSolver(),
 	}, nil
 }
 
@@ -355,24 +375,33 @@ func (pl *Planner) buildGroups(layers []model.Layer) []recompute.Group {
 // The cache holds nominal costs; any stage scale is applied to the returned
 // copy, so SetStageScale never invalidates cached entries (the isomorphism
 // key retains the stage index, keeping per-stage scaling cache-consistent).
+// Safe for concurrent use; in the parallel search the prefill has already
+// populated the cache, so the locked section is a map lookup.
 func (pl *Planner) stageCostFor(s, i, j int) stageCost {
+	pl.mu.Lock()
 	pl.Stats.CostEvaluations++
 	key := pl.isoKey(s, i, j)
 	c, hit := pl.cache[key]
 	if hit {
 		pl.Stats.CacheHits++
 	} else {
-		c = pl.solveStage(s, i, j)
+		c = pl.solveStage(s, i, j, pl.solver, &pl.Stats)
 		pl.cache[key] = c
 	}
-	if pl.scale != nil {
-		c.fwd *= pl.scale[s]
-		c.bwd *= pl.scale[s]
+	scale := pl.scale
+	pl.mu.Unlock()
+	if scale != nil {
+		c.fwd *= scale[s]
+		c.bwd *= scale[s]
 	}
 	return c
 }
 
-func (pl *Planner) solveStage(s, i, j int) stageCost {
+// solveStage computes the nominal cost entry for layers i..j at stage s. It
+// reads only immutable planner state, runs its knapsack on sv's scratch and
+// counts effort into st — so prefill workers can run it concurrently, each
+// with a private solver and stats shard merged after the join.
+func (pl *Planner) solveStage(s, i, j int, sv *recompute.Solver, st *SearchStats) stageCost {
 	layers := pl.layers[i : j+1]
 	static := memory.StageStatic(pl.cfg, pl.prof, pl.strat, layers, pl.opts.Memory)
 	inFlight := memory.InFlight(pl.strat.PP, s)
@@ -433,14 +462,14 @@ func (pl *Planner) solveStage(s, i, j int) stageCost {
 		if pl.opts.Recompute == RecomputeLayerLevel {
 			groups = coarsenToLayers(groups)
 		}
-		pl.Stats.KnapsackRuns++
-		sol := recompute.Optimize(groups, perMicro, recompute.Options{
+		st.KnapsackRuns++
+		sol := sv.Optimize(groups, perMicro, recompute.Options{
 			Quantum:    pl.quantumFor(perMicro),
 			DisableGCD: pl.opts.DisableGCD,
 		})
-		pl.Stats.KnapsackCells += sol.DPCells
-		pl.Stats.QuantaBeforeGCD += sol.QuantaBeforeGCD
-		pl.Stats.QuantaAfterGCD += sol.QuantaAfterGCD
+		st.KnapsackCells += sol.DPCells
+		st.QuantaBeforeGCD += sol.QuantaBeforeGCD
+		st.QuantaAfterGCD += sol.QuantaAfterGCD
 		if !sol.Feasible {
 			return stageCost{sol: sol, ok: false}
 		}
@@ -468,11 +497,20 @@ func (pl *Planner) quantumFor(budget int64) int64 {
 	return q
 }
 
-// Plan runs the configured search and assembles the plan.
+// Plan runs the configured search and assembles the plan. With Options.
+// Workers > 1 the independent per-(stage, iso-class) knapsack solves are
+// prefilled across the worker pool and the partition DP shards its per-level
+// cells the same way; the resulting plan is byte-identical to the serial
+// search. Plan is safe to call concurrently on one planner (the cost cache
+// and counters are shared under a lock).
 func (pl *Planner) Plan() (*Plan, error) {
 	searchStart := time.Now()
 	L := len(pl.layers)
 	p := pl.strat.PP
+	workers := pl.workerCount()
+	if workers > 1 && pl.opts.Partition != PartitionEven {
+		pl.prefillCosts(workers)
+	}
 	cost := func(s, i, j int) (float64, float64, bool) {
 		c := pl.stageCostFor(s, i, j)
 		return c.fwd, c.bwd, c.ok
@@ -480,20 +518,20 @@ func (pl *Planner) Plan() (*Plan, error) {
 
 	var bounds []int
 	var total, w, e, m float64
+	var cellsAdd, frontierAdd int
 	switch pl.opts.Partition {
 	case PartitionExact:
 		maxFrontier := pl.opts.MaxFrontier
 		if maxFrontier <= 0 {
 			maxFrontier = 128
 		}
-		sol, _, err := partition.SolveExact(L, p, pl.n, cost, maxFrontier)
+		sol, _, err := partition.SolveExactWorkers(L, p, pl.n, cost, maxFrontier, workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w (OOM under every partitioning)", err)
 		}
 		bounds = sol.Bounds
 		total, w, e, m = sol.Total, sol.W, sol.E, sol.M
-		pl.Stats.PartitionCells += sol.DPCells
-		pl.Stats.FrontierStates += sol.FrontierStates
+		cellsAdd, frontierAdd = sol.DPCells, sol.FrontierStates
 	case PartitionEven:
 		bounds = partition.Even(L, p)
 		var ok bool
@@ -502,15 +540,15 @@ func (pl *Planner) Plan() (*Plan, error) {
 			return nil, fmt.Errorf("core: %s with even partitioning exceeds the %s memory capacity (OOM)",
 				pl.opts.Recompute, pl.cluster.Device.Name)
 		}
-		pl.Stats.PartitionCells += p
+		cellsAdd = p
 	default:
-		sol, err := partition.Solve(L, p, pl.n, cost)
+		sol, err := partition.SolveWorkers(L, p, pl.n, cost, workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w (OOM under every partitioning)", err)
 		}
 		bounds = sol.Bounds
 		total, w, e, m = sol.Total, sol.W, sol.E, sol.M
-		pl.Stats.PartitionCells += sol.DPCells
+		cellsAdd = sol.DPCells
 	}
 
 	plan := &Plan{
@@ -541,8 +579,13 @@ func (pl *Planner) Plan() (*Plan, error) {
 			Mem:       c.mem,
 		})
 	}
+	pl.mu.Lock()
+	pl.Stats.PartitionCells += cellsAdd
+	pl.Stats.FrontierStates += frontierAdd
+	pl.Stats.Workers = workers
 	pl.Stats.SearchWall += time.Since(searchStart)
 	plan.Search = pl.Stats
+	pl.mu.Unlock()
 	return plan, nil
 }
 

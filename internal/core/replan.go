@@ -18,7 +18,9 @@ import (
 // invalidated.
 func (pl *Planner) SetStageScale(scale []float64) error {
 	if scale == nil {
+		pl.mu.Lock()
 		pl.scale = nil
+		pl.mu.Unlock()
 		return nil
 	}
 	if len(scale) != pl.strat.PP {
@@ -29,7 +31,9 @@ func (pl *Planner) SetStageScale(scale []float64) error {
 			return fmt.Errorf("core: stage %d scale %g, want > 0", s, v)
 		}
 	}
+	pl.mu.Lock()
 	pl.scale = append([]float64(nil), scale...)
+	pl.mu.Unlock()
 	return nil
 }
 
@@ -148,7 +152,9 @@ func (pl *Planner) planForBounds(bounds []int) (*Plan, error) {
 			Mem:       c.mem,
 		})
 	}
+	pl.mu.Lock()
 	plan.Search = pl.Stats
+	pl.mu.Unlock()
 	return plan, nil
 }
 

@@ -39,6 +39,15 @@ type SearchStats struct {
 	// deliberately excluded from plan serialization: plans must stay
 	// byte-identical across runs.
 	SearchWall time.Duration
+	// Workers is the worker-pool size of the most recent Plan call (1 for
+	// the serial search).
+	Workers int
+	// ParallelWall is the wall-clock time spent inside parallel prefill
+	// sections, and ParallelBusy the per-worker busy time summed across
+	// workers. Their ratio is the effective parallel speedup actually
+	// realized (bounded by the core count); both are wall-clock figures and,
+	// like SearchWall, excluded from plan serialization.
+	ParallelWall, ParallelBusy time.Duration
 }
 
 // CacheHitRate returns the fraction of stage-cost lookups the isomorphism
@@ -59,6 +68,16 @@ func (s SearchStats) GCDReduction() float64 {
 	return float64(s.QuantaBeforeGCD) / float64(s.QuantaAfterGCD)
 }
 
+// ParallelSpeedup returns the effective parallelism of the worker pool: the
+// summed per-worker busy time divided by the wall-clock time of the parallel
+// sections. 1 when the search ran serially (no parallel section at all).
+func (s SearchStats) ParallelSpeedup() float64 {
+	if s.ParallelWall <= 0 || s.ParallelBusy <= 0 {
+		return 1
+	}
+	return float64(s.ParallelBusy) / float64(s.ParallelWall)
+}
+
 // String renders the counters as the one-line summary Describe prints.
 func (s SearchStats) String() string {
 	var b strings.Builder
@@ -66,6 +85,9 @@ func (s SearchStats) String() string {
 		s.CostEvaluations, s.KnapsackRuns, 100*s.CacheHitRate(), s.KnapsackCells, s.GCDReduction(), s.PartitionCells)
 	if s.FrontierStates > 0 {
 		fmt.Fprintf(&b, ", %d frontier states", s.FrontierStates)
+	}
+	if s.Workers > 1 {
+		fmt.Fprintf(&b, ", %d workers (%.1fx effective parallelism)", s.Workers, s.ParallelSpeedup())
 	}
 	if s.SearchWall > 0 {
 		fmt.Fprintf(&b, ", wall %s", s.SearchWall.Round(time.Microsecond))
@@ -86,5 +108,8 @@ func (s SearchStats) PromMetrics(prefix string) []obs.Metric {
 		{Name: prefix + "_partition_cells", Help: "partitioning DP cells evaluated", Value: float64(s.PartitionCells)},
 		{Name: prefix + "_frontier_states", Help: "Pareto states kept (exact partitioning only)", Value: float64(s.FrontierStates)},
 		{Name: prefix + "_wall_seconds", Help: "search wall-clock seconds", Value: s.SearchWall.Seconds()},
+		{Name: prefix + "_workers", Help: "worker-pool size of the most recent search (1 = serial)", Value: float64(s.Workers)},
+		{Name: prefix + "_parallel_speedup", Help: "effective parallelism of the worker pool (busy/wall over parallel sections)", Value: s.ParallelSpeedup()},
+		{Name: prefix + "_parallel_wall_seconds", Help: "wall-clock seconds inside parallel prefill sections", Value: s.ParallelWall.Seconds()},
 	}
 }

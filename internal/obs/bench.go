@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchRun is one benchmark result in a BenchReport: the standard
+// testing.Benchmark figures for a named workload.
+type BenchRun struct {
+	// Name identifies the workload, e.g. "PlanSearch/serial".
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the per-iteration figures.
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// BenchReport is the machine-readable planner-search benchmark record `make
+// bench` writes to BENCH_planner.json and CI uploads as an artifact: the
+// serial-vs-parallel wall times, the measured speedup, and the search-effort
+// counters behind them. Field order (and hence the emitted JSON) is fixed, so
+// two runs differ only where the measurements do.
+type BenchReport struct {
+	// Model and Shape describe the benchmarked search ("GPT-3 175B",
+	// "L=194 p=8 n=32").
+	Model string `json:"model"`
+	Shape string `json:"shape"`
+	// GoMaxProcs is runtime.GOMAXPROCS(0) on the benchmarking host — the
+	// ceiling on any real speedup.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Workers is the pool size of the parallel runs.
+	Workers int `json:"workers"`
+	// SpeedupParallel is serial ns/op divided by parallel ns/op.
+	SpeedupParallel float64 `json:"speedup_parallel"`
+	// KnapsackRuns and CacheHitRate are the search-effort counters of one
+	// full search (parallel mode), tying the wall-time figures to the work
+	// they bought.
+	KnapsackRuns int     `json:"knapsack_runs"`
+	CacheHitRate float64 `json:"iso_cache_hit_rate"`
+	// Runs holds the individual benchmark results.
+	Runs []BenchRun `json:"runs"`
+}
+
+// WriteBenchJSON writes the report to path as indented JSON with a trailing
+// newline.
+func WriteBenchJSON(path string, r BenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding bench report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

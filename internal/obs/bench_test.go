@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteBenchJSONRoundTripAndDeterminism(t *testing.T) {
+	report := BenchReport{
+		Model:           "GPT-3 175B",
+		Shape:           "L=194 p=8 n=32",
+		GoMaxProcs:      8,
+		Workers:         8,
+		SpeedupParallel: 2.4,
+		KnapsackRuns:    120,
+		CacheHitRate:    0.93,
+		Runs: []BenchRun{
+			{Name: "PlanSearch/serial", Iterations: 30, NsPerOp: 41_000_000},
+			{Name: "PlanSearch/parallel", Iterations: 72, NsPerOp: 17_000_000},
+			{Name: "ReplanWithScale", Iterations: 20, NsPerOp: 55_000_000},
+		},
+	}
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.json")
+	p2 := filepath.Join(dir, "b.json")
+	if err := WriteBenchJSON(p1, report); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchJSON(p2, report); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("same report serialized to different bytes")
+	}
+	if b1[len(b1)-1] != '\n' {
+		t.Error("missing trailing newline")
+	}
+	var back BenchReport
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SpeedupParallel != report.SpeedupParallel || len(back.Runs) != 3 ||
+		back.Runs[1].Name != "PlanSearch/parallel" {
+		t.Errorf("round trip mangled the report: %+v", back)
+	}
+}
+
+func TestWriteBenchJSONBadPath(t *testing.T) {
+	if err := WriteBenchJSON(filepath.Join(t.TempDir(), "no", "such", "dir.json"), BenchReport{}); err == nil {
+		t.Error("write into a missing directory should fail")
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+
+	"adapipe/internal/pool"
 )
 
 // SolveExact is an optimal variant of Algorithm 1. The published algorithm
@@ -20,6 +23,16 @@ import (
 // (it keeps the locally-best states by T), which the returned exact flag
 // reports.
 func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
+	return SolveExactWorkers(L, p, n, cost, maxFrontier, 1)
+}
+
+// SolveExactWorkers is SolveExact with the per-level DP cells fanned across a
+// bounded worker pool, exactly as SolveWorkers does for Solve: cells at one
+// level are independent, each cell's candidate generation and Pareto prune
+// stay serial and deterministic, and the result is bit-identical to
+// SolveExact for every worker count. With workers > 1 the cost function must
+// be safe for concurrent use.
+func SolveExactWorkers(L, p, n int, cost CostFn, maxFrontier, workers int) (Plan, bool, error) {
 	if err := check(L, p, n); err != nil {
 		return Plan{}, false, err
 	}
@@ -34,8 +47,11 @@ func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
 	for s := range frontiers {
 		frontiers[s] = make([][]state, L)
 	}
-	exact := true
-	cells := 0
+	// trimmed records whether any cell's frontier hit the cap (losing the
+	// optimality guarantee); cells counts cost evaluations. Both are
+	// order-insensitive aggregates, safe and exact under any interleaving.
+	var trimmed atomic.Bool
+	var cells atomic.Int64
 
 	prune := func(states []state, s int) []state {
 		if len(states) <= 1 {
@@ -66,7 +82,7 @@ func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
 			}
 		}
 		if maxFrontier > 0 && len(out) > maxFrontier {
-			exact = false
+			trimmed.Store(true)
 			sort.Slice(out, func(a, b int) bool {
 				ta := out[a].W + out[a].E + float64(n-p+s)*out[a].M
 				tb := out[b].W + out[b].E + float64(n-p+s)*out[b].M
@@ -77,23 +93,25 @@ func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
 		return out
 	}
 
-	for i := 0; i < L; i++ {
-		cells++
+	pool.Run(workers, L, func(_, i int) {
+		cells.Add(1)
 		f, b, ok := cost(p-1, i, L-1)
 		if !ok {
-			continue
+			return
 		}
 		frontiers[p-1][i] = []state{{W: f, E: b, M: f + b, F: f, B: b, split: L - 1}}
-	}
+	})
 	for s := p - 2; s >= 0; s-- {
-		for i := L - p + s; i >= 0; i-- {
+		// Each cell i reads only level s+1 and writes only frontiers[s][i].
+		s := s
+		pool.Run(workers, L-p+s+1, func(_, i int) {
 			var states []state
 			for j := i; j <= L-p+s; j++ {
 				nextStates := frontiers[s+1][j+1]
 				if len(nextStates) == 0 {
 					continue
 				}
-				cells++
+				cells.Add(1)
 				f, b, ok := cost(s, i, j)
 				if !ok {
 					continue
@@ -111,9 +129,10 @@ func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
 				}
 			}
 			frontiers[s][i] = prune(states, s)
-		}
+		})
 	}
 
+	exact := !trimmed.Load()
 	root := frontiers[0][0]
 	if len(root) == 0 {
 		return Plan{}, exact, fmt.Errorf("partition: no memory-feasible partitioning of %d layers into %d stages", L, p)
@@ -138,7 +157,7 @@ func SolveExact(L, p, n int, cost CostFn, maxFrontier int) (Plan, bool, error) {
 		M:              root[bestIdx].M,
 		Fwd:            make([]float64, p),
 		Bwd:            make([]float64, p),
-		DPCells:        cells,
+		DPCells:        int(cells.Load()),
 		FrontierStates: frontierStates,
 	}
 	at, idx := 0, bestIdx

@@ -1,0 +1,92 @@
+package partition
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fuzzCost derives a deterministic cost function from a seed: per-(s,i,j)
+// forward/backward times from a small integer hash, with a tunable fraction of
+// infeasible cells so the solvers' feasibility handling is exercised. Pure and
+// stateless, so it is safe for the concurrent workers path.
+func fuzzCost(seed uint32, infeasibleMod int) CostFn {
+	return func(s, i, j int) (float64, float64, bool) {
+		h := seed
+		for _, v := range [...]int{s, i, j} {
+			h = (h ^ uint32(v)*0x9e3779b9) * 0x85ebca6b
+			h ^= h >> 13
+		}
+		if infeasibleMod > 0 && int(h%16) < infeasibleMod {
+			return 0, 0, false
+		}
+		f := 1 + float64(h%97)/10
+		b := 1 + float64((h>>8)%89)/10
+		// Longer ranges cost more, keeping the instances non-degenerate.
+		span := float64(j - i + 1)
+		return f * span, b * span, true
+	}
+}
+
+// FuzzPartitionSolveVsBruteForce feeds arbitrary small instances to Algorithm
+// 1, its exact Pareto variant and the exponential oracle:
+//   - Solve never beats BruteForce (it is a heuristic over the same model);
+//   - SolveExact with an unlimited frontier matches BruteForce exactly;
+//   - all three agree on feasibility;
+//   - the workers=4 variants are bit-identical to their serial counterparts.
+func FuzzPartitionSolveVsBruteForce(f *testing.F) {
+	f.Add(uint32(1), uint8(6), uint8(3), uint8(8), uint8(0))
+	f.Add(uint32(42), uint8(7), uint8(7), uint8(7), uint8(4))
+	f.Add(uint32(7), uint8(5), uint8(2), uint8(12), uint8(8))
+	f.Add(uint32(99), uint8(1), uint8(1), uint8(1), uint8(15))
+	f.Fuzz(func(t *testing.T, seed uint32, l8, p8, n8, inf8 uint8) {
+		L := int(l8%7) + 1
+		p := int(p8%uint8(L)) + 1
+		n := p + int(n8%8)
+		cost := fuzzCost(seed, int(inf8%12))
+
+		heur, heurErr := Solve(L, p, n, cost)
+		exact, isExact, exactErr := SolveExact(L, p, n, cost, 0)
+		brute, bruteErr := BruteForce(L, p, n, cost)
+
+		if (heurErr == nil) != (bruteErr == nil) {
+			t.Fatalf("feasibility disagreement: Solve err=%v, BruteForce err=%v", heurErr, bruteErr)
+		}
+		if (exactErr == nil) != (bruteErr == nil) {
+			t.Fatalf("feasibility disagreement: SolveExact err=%v, BruteForce err=%v", exactErr, bruteErr)
+		}
+		if bruteErr == nil {
+			if !isExact {
+				t.Fatal("unlimited frontier reported inexact")
+			}
+			const tol = 1e-9
+			if heur.Total < brute.Total-tol {
+				t.Fatalf("Solve %.12g beats the oracle %.12g", heur.Total, brute.Total)
+			}
+			if math.Abs(exact.Total-brute.Total) > tol*(1+brute.Total) {
+				t.Fatalf("SolveExact %.12g != oracle %.12g", exact.Total, brute.Total)
+			}
+			// The exact solver can only improve on the heuristic.
+			if exact.Total > heur.Total+tol {
+				t.Fatalf("SolveExact %.12g worse than Solve %.12g", exact.Total, heur.Total)
+			}
+		}
+
+		// Worker sharding must be invisible: bit-identical plans and errors.
+		heurW, heurWErr := SolveWorkers(L, p, n, cost, 4)
+		if (heurWErr == nil) != (heurErr == nil) {
+			t.Fatalf("SolveWorkers error mismatch: %v vs %v", heurWErr, heurErr)
+		}
+		if heurErr == nil && !reflect.DeepEqual(heur, heurW) {
+			t.Fatalf("SolveWorkers(4) differs from Solve:\n%+v\nvs\n%+v", heurW, heur)
+		}
+		exactW, isExactW, exactWErr := SolveExactWorkers(L, p, n, cost, 0, 4)
+		if (exactWErr == nil) != (exactErr == nil) || isExactW != isExact {
+			t.Fatalf("SolveExactWorkers mismatch: err %v vs %v, exact %v vs %v",
+				exactWErr, exactErr, isExactW, isExact)
+		}
+		if exactErr == nil && !reflect.DeepEqual(exact, exactW) {
+			t.Fatalf("SolveExactWorkers(4) differs from SolveExact:\n%+v\nvs\n%+v", exactW, exact)
+		}
+	})
+}

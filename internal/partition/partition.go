@@ -8,6 +8,9 @@ package partition
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+
+	"adapipe/internal/pool"
 )
 
 // CostFn reports the optimal forward and backward times (seconds per
@@ -64,6 +67,20 @@ func (pl Plan) StageLayers(s int) (lo, hi int) { return pl.Bounds[s], pl.Bounds[
 // It returns an error when the inputs are malformed or no memory-feasible
 // partitioning exists.
 func Solve(L, p, n int, cost CostFn) (Plan, error) {
+	return SolveWorkers(L, p, n, cost, 1)
+}
+
+// SolveWorkers is Solve with the per-level DP cells fanned across a bounded
+// worker pool. The recurrence at level s depends only on level s+1, so every
+// cell (s, i) at one level is independent: workers shard the i axis while the
+// j-scan inside each cell stays serial and ascending, preserving the serial
+// solver's tie-breaking exactly. The result is bit-identical to Solve for
+// every worker count.
+//
+// With workers > 1 the cost function is called from multiple goroutines
+// concurrently and must be safe for concurrent use. workers <= 1 runs the
+// serial path with no goroutines.
+func SolveWorkers(L, p, n int, cost CostFn, workers int) (Plan, error) {
 	if err := check(L, p, n); err != nil {
 		return Plan{}, err
 	}
@@ -73,13 +90,15 @@ func Solve(L, p, n int, cost CostFn) (Plan, error) {
 		P[s] = make([]State, L)
 	}
 
-	cells := 0
+	// Cell counting is a commutative sum, so an atomic keeps the tally exact
+	// (and deterministic) under any worker interleaving.
+	var cells atomic.Int64
 	// Base case: the last stage takes everything that remains.
-	for i := 0; i < L; i++ {
-		cells++
+	pool.Run(workers, L, func(_, i int) {
+		cells.Add(1)
 		f, b, ok := cost(p-1, i, L-1)
 		if !ok {
-			continue
+			return
 		}
 		P[p-1][i] = State{
 			W: f, E: b, M: f + b, F: f, B: b,
@@ -87,19 +106,21 @@ func Solve(L, p, n int, cost CostFn) (Plan, error) {
 			Split: L - 1,
 			OK:    true,
 		}
-	}
+	})
 
 	for s := p - 2; s >= 0; s-- {
 		// Stage s must start no later than layer L−(p−s) so every
-		// later stage keeps at least one layer.
-		for i := L - p + s; i >= 0; i-- {
+		// later stage keeps at least one layer. Each cell i at this level
+		// reads only level s+1 and writes only P[s][i]: race-free sharding.
+		s := s
+		pool.Run(workers, L-p+s+1, func(_, i int) {
 			best := State{T: math.Inf(1)}
 			for j := i; j <= L-p+s; j++ {
 				next := P[s+1][j+1]
 				if !next.OK {
 					continue
 				}
-				cells++
+				cells.Add(1)
 				f, b, ok := cost(s, i, j)
 				if !ok {
 					continue
@@ -113,14 +134,14 @@ func Solve(L, p, n int, cost CostFn) (Plan, error) {
 				}
 			}
 			P[s][i] = best
-		}
+		})
 	}
 
 	root := P[0][0]
 	if !root.OK {
 		return Plan{}, fmt.Errorf("partition: no memory-feasible partitioning of %d layers into %d stages", L, p)
 	}
-	plan := Plan{Bounds: make([]int, p+1), Total: root.T, W: root.W, E: root.E, M: root.M, DPCells: cells}
+	plan := Plan{Bounds: make([]int, p+1), Total: root.T, W: root.W, E: root.E, M: root.M, DPCells: int(cells.Load())}
 	plan.Fwd = make([]float64, p)
 	plan.Bwd = make([]float64, p)
 	at := 0

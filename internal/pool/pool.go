@@ -1,0 +1,91 @@
+// Package pool provides the bounded worker pool the planner fans its
+// independent solves across. The design rule is that parallelism must never
+// leak into results: work items are identified by index, each index is
+// processed exactly once, and callers key every output (results, per-worker
+// counters) by index or worker id and merge after Run returns, in a fixed
+// order. Which goroutine happens to execute which index is the only
+// nondeterminism, and nothing observable may depend on it.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Default returns the default worker count: GOMAXPROCS, the number of OS
+// threads the Go scheduler will actually run concurrently.
+func Default() int { return runtime.GOMAXPROCS(0) }
+
+// Clamp normalizes a worker-count knob: values <= 0 select 1 (serial), and
+// the count never exceeds n, the number of work items.
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes fn(worker, i) for every i in [0, n), fanned across at most
+// workers goroutines. worker is a stable id in [0, workers) so fn can use
+// per-worker scratch state without locking. Indices are dispatched from a
+// shared counter (dynamic load balancing: item costs vary wildly between a
+// cache-hit lookup and a full knapsack solve), so the index→worker assignment
+// is nondeterministic — callers must merge per-index and per-worker outputs
+// in index/worker order after Run returns.
+//
+// With workers <= 1 (or n <= 1) fn runs inline on the calling goroutine in
+// ascending index order, with zero scheduling overhead — the serial planner
+// path is this path.
+//
+// A panic in fn is captured and re-raised on the calling goroutine after all
+// workers have drained, so a panicking solve fails the plan rather than
+// killing the process from an anonymous goroutine.
+func Run(workers, n int, fn func(worker, i int)) {
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("pool: worker panic: %v", panicked))
+	}
+}

@@ -1,0 +1,94 @@
+package pool
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		Run(workers, n, func(w, i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunSerialIsOrderedInline(t *testing.T) {
+	var order []int
+	Run(1, 5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial run used worker %d", w)
+		}
+		order = append(order, i) // safe: inline on the calling goroutine
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestRunWorkerIDsAreStable(t *testing.T) {
+	const workers, n = 4, 400
+	sums := make([]int64, workers) // per-worker, merged after Run
+	Run(workers, n, func(w, i int) {
+		sums[w] += int64(i) // only worker w touches sums[w]
+	})
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	if want := int64(n*(n-1)) / 2; total != want {
+		t.Fatalf("per-worker sums merge to %d, want %d", total, want)
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	called := false
+	Run(8, 0, func(w, i int) { called = true })
+	if called {
+		t.Fatal("fn called with no work")
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic not propagated")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	Run(4, 100, func(w, i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{0, 10, 1}, {-3, 10, 1}, {4, 2, 2}, {4, 10, 4}, {8, 0, 1}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.workers, c.n); got != c.want {
+			t.Errorf("Clamp(%d,%d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDefault(t *testing.T) {
+	if Default() < 1 {
+		t.Fatalf("Default() = %d", Default())
+	}
+}

@@ -79,12 +79,47 @@ type Options struct {
 
 const defaultQuantum = int64(1) << 20
 
+// Solver runs knapsack solves with reusable scratch buffers. The DP table,
+// pseudo-item list and choice-tracking matrix dominate the allocation profile
+// of a full planner search (thousands of solves, each discarding megabytes of
+// scratch), so callers running many solves — one planner worker, a benchmark
+// loop — hold one Solver per goroutine and amortize the buffers across
+// solves. The zero value is ready to use. A Solver is NOT safe for concurrent
+// use; give each worker its own.
+//
+// Solver.Optimize returns results bit-identical to the package-level Optimize
+// (same iteration orders, same tie-breaking); the scratch reuse is invisible.
+type Solver struct {
+	dp     []float64
+	taken  []bool // len(items) × (w+1), row-major
+	items  []item
+	scaled []int64
+	counts []int
+}
+
+// item is one 0/1 pseudo-item of the binary-split bounded knapsack.
+type item struct {
+	group  int
+	copies int
+	weight int64
+	value  float64
+}
+
+// NewSolver returns an empty Solver (equivalent to new(Solver)).
+func NewSolver() *Solver { return &Solver{} }
+
 // Optimize solves the bounded knapsack for one stage. capacity is the
 // per-micro-batch budget for saved intermediates: the caller subtracts the
 // static consumption from device memory and divides by the in-flight
 // micro-batch count p−s (§4.2 multiplies the other way; the two are
 // equivalent and per-micro budgets keep the DP capacity small).
 func Optimize(groups []Group, capacity int64, opts Options) Solution {
+	return new(Solver).Optimize(groups, capacity, opts)
+}
+
+// Optimize is the package-level Optimize running on the solver's reused
+// scratch buffers.
+func (sv *Solver) Optimize(groups []Group, capacity int64, opts Options) Solution {
 	sol := Solution{Saved: make(map[string]int, len(groups))}
 	quantum := opts.Quantum
 	if quantum <= 0 {
@@ -129,7 +164,7 @@ func Optimize(groups []Group, capacity int64, opts Options) Solution {
 	}
 
 	// Round sizes up conservatively, then shrink by the GCD (§5.3).
-	scaled := make([]int64, len(opt))
+	scaled := sv.scaledBuf(len(opt))
 	g := int64(0)
 	var roundedTotal int64
 	for i, grp := range opt {
@@ -169,13 +204,7 @@ func Optimize(groups []Group, capacity int64, opts Options) Solution {
 	}
 
 	// Binary-split bounded groups into 0/1 pseudo-items.
-	type item struct {
-		group  int
-		copies int
-		weight int64
-		value  float64
-	}
-	var items []item
+	items := sv.items[:0]
 	for i, grp := range opt {
 		c := grp.Count
 		for k := 1; c > 0; k *= 2 {
@@ -192,20 +221,23 @@ func Optimize(groups []Group, capacity int64, opts Options) Solution {
 			c -= take
 		}
 	}
+	sv.items = items
 
-	// 0/1 knapsack with choice tracking.
+	// 0/1 knapsack with choice tracking. taken is row-major: row i holds the
+	// w+1 choice bits of pseudo-item i.
 	sol.DPCells = int64(len(items)) * (w + 1)
-	dp := make([]float64, w+1)
-	taken := make([][]bool, len(items))
+	dp := sv.dpBuf(w + 1)
+	taken := sv.takenBuf(int64(len(items)) * (w + 1))
+	stride := w + 1
 	for i, it := range items {
-		taken[i] = make([]bool, w+1)
 		if it.weight > w {
 			continue
 		}
+		row := taken[int64(i)*stride : int64(i+1)*stride]
 		for c := w; c >= it.weight; c-- {
 			if v := dp[c-it.weight] + it.value; v > dp[c] {
 				dp[c] = v
-				taken[i][c] = true
+				row[c] = true
 			}
 		}
 	}
@@ -219,9 +251,9 @@ func Optimize(groups []Group, capacity int64, opts Options) Solution {
 			bestCap = c
 		}
 	}
-	counts := make([]int, len(opt))
+	counts := sv.countsBuf(len(opt))
 	for i := len(items) - 1; i >= 0; i-- {
-		if taken[i][bestCap] {
+		if taken[int64(i)*stride+bestCap] {
 			counts[items[i].group] += items[i].copies
 			bestCap -= items[i].weight
 		}
@@ -236,6 +268,52 @@ func Optimize(groups []Group, capacity int64, opts Options) Solution {
 		sol.SavedBytes += grp.Bytes * int64(counts[i])
 	}
 	return sol
+}
+
+// dpBuf returns a zeroed float64 scratch slice of length n.
+func (sv *Solver) dpBuf(n int64) []float64 {
+	if int64(cap(sv.dp)) < n {
+		sv.dp = make([]float64, n)
+	}
+	sv.dp = sv.dp[:n]
+	for i := range sv.dp {
+		sv.dp[i] = 0
+	}
+	return sv.dp
+}
+
+// takenBuf returns a zeroed bool scratch slice of length n.
+func (sv *Solver) takenBuf(n int64) []bool {
+	if int64(cap(sv.taken)) < n {
+		sv.taken = make([]bool, n)
+	}
+	sv.taken = sv.taken[:n]
+	for i := range sv.taken {
+		sv.taken[i] = false
+	}
+	return sv.taken
+}
+
+// scaledBuf returns an int64 scratch slice of length n (contents overwritten
+// by the caller).
+func (sv *Solver) scaledBuf(n int) []int64 {
+	if cap(sv.scaled) < n {
+		sv.scaled = make([]int64, n)
+	}
+	sv.scaled = sv.scaled[:n]
+	return sv.scaled
+}
+
+// countsBuf returns a zeroed int scratch slice of length n.
+func (sv *Solver) countsBuf(n int) []int {
+	if cap(sv.counts) < n {
+		sv.counts = make([]int, n)
+	}
+	sv.counts = sv.counts[:n]
+	for i := range sv.counts {
+		sv.counts[i] = 0
+	}
+	return sv.counts
 }
 
 // BruteForce solves the same problem by exhaustive enumeration over per-copy
