@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin/adapipevet
 
-.PHONY: all build lint test race bench observe chaos ci clean
+.PHONY: all build lint test race bench observe chaos serve-smoke ci clean
 
 all: build
 
@@ -30,8 +30,8 @@ test:
 # planner packages — run-filtered so the GPT-3-scale timing tests stay out of
 # the slow race build.
 race:
-	$(GO) test -race ./internal/train/... ./internal/sim/... ./internal/pool/...
-	$(GO) test -race -run 'Concurrent|Parallel|Workers' ./internal/core/... ./internal/partition/...
+	$(GO) test -race ./internal/train/... ./internal/sim/... ./internal/pool/... ./internal/serve/...
+	$(GO) test -race -run 'Concurrent|Parallel|Workers|Context|Cancel' ./internal/core/... ./internal/partition/...
 
 # bench runs the planner search benchmarks (serial vs parallel, replan) and
 # writes BENCH_planner.json: ns/op for both modes, the measured speedup, and
@@ -57,8 +57,16 @@ chaos:
 	done
 	$(GO) run ./examples/chaos
 
+# serve-smoke exercises the adapiped daemon end to end from outside the
+# process: build it, bind an ephemeral port, check /healthz, plan the same
+# request twice asserting (via /metrics) that the repeat is a byte-identical
+# cache hit with no extra search work, then SIGTERM and require a clean drain.
+serve-smoke:
+	$(GO) build -o bin/adapiped ./cmd/adapiped
+	$(GO) run ./cmd/servesmoke -daemon bin/adapiped
+
 # ci is the full gate the GitHub Actions workflow runs.
-ci: build lint test race bench observe chaos
+ci: build lint test race bench observe chaos serve-smoke
 
 clean:
 	rm -rf bin observe-out BENCH_planner.json

@@ -92,12 +92,18 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 
 // NewPlanner validates the inputs, profiles the model analytically and
 // returns a Planner for the given cluster, 3D strategy and training config.
+//
+// Deprecated: prefer building a PlanRequest and calling NewPlannerFromRequest
+// (or PlanContext); the request path is versioned, validated and hashable,
+// and is what the CLI, benchmarks and the adapiped daemon all use. This
+// positional form remains as a thin wrapper and will keep working.
 func NewPlanner(m Model, c Cluster, s Strategy, t TrainingConfig, o Options) (*Planner, error) {
 	return core.NewPlanner(m, c, s, t, o)
 }
 
 // PlanAdaPipe runs the full AdaPipe search (adaptive recomputation +
-// adaptive partitioning) with default options.
+// adaptive partitioning) with default options. For cancellation, deadlines,
+// or a wire-friendly entry point, build a PlanRequest and use PlanContext.
 func PlanAdaPipe(m Model, c Cluster, s Strategy, t TrainingConfig) (*Plan, error) {
 	pl, err := NewPlanner(m, c, s, t, DefaultOptions())
 	if err != nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,7 +26,7 @@ import (
 func main() {
 	var (
 		modelName = flag.String("model", "gpt3", "model: gpt3, llama2, or tiny")
-		cluster   = flag.String("cluster", "a", "cluster: a (A100) or b (Ascend 910)")
+		cluster   = flag.String("cluster", "a", "cluster: a (64×A100), b (256×Ascend 910) or b-large (2048×Ascend 910)")
 		tp        = flag.Int("tp", 8, "tensor-parallel size")
 		pp        = flag.Int("pp", 8, "pipeline-parallel size")
 		dp        = flag.Int("dp", 1, "data-parallel size")
@@ -53,36 +54,42 @@ func main() {
 		return
 	}
 
-	var m adapipe.Model
-	switch *modelName {
-	case "gpt3":
-		m = adapipe.GPT3()
-	case "llama2":
-		m = adapipe.Llama2()
-	case "tiny":
-		m = adapipe.TinyModel(8)
-	default:
-		fatalf("unknown model %q", *modelName)
-	}
-	var cl adapipe.Cluster
-	switch *cluster {
-	case "a":
-		cl = adapipe.ClusterA()
-	case "b":
-		cl = adapipe.ClusterBLarge()
-	default:
-		fatalf("unknown cluster %q", *cluster)
-	}
-	train := adapipe.TrainingConfig{GlobalBatch: *gbs, MicroBatch: *mbs, SeqLen: *seq}
-	meth, err := adapipe.MethodByName(*method)
+	// All planning flows through the versioned request schema — the same
+	// schema the adapiped daemon serves — so the flag surface and the HTTP
+	// surface cannot drift.
+	req, err := adapipe.PlanRequest{
+		Model:       *modelName,
+		Cluster:     *cluster,
+		Method:      *method,
+		TP:          *tp,
+		PP:          *pp,
+		DP:          *dp,
+		SeqLen:      *seq,
+		GlobalBatch: *gbs,
+		MicroBatch:  *mbs,
+	}.Normalize()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	opts := adapipe.DefaultOptions()
-	opts.Workers = *workers
+	m, err := req.ModelConfig()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cl, err := req.ClusterConfig()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	meth, err := req.MethodConfig()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts, err := req.Options(*workers)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	if *sweep {
-		best, all := adapipe.Best(meth, m, cl, *devices, train, opts)
+		best, all := adapipe.Best(meth, m, cl, *devices, req.TrainingConfig(), opts)
 		fmt.Printf("%d candidate strategies evaluated for %d devices:\n", len(all), *devices)
 		for _, o := range all {
 			if o.Feasible() {
@@ -101,8 +108,11 @@ func main() {
 		return
 	}
 
-	strat := adapipe.Strategy{TP: *tp, PP: *pp, DP: *dp}
-	o := adapipe.Evaluate(meth, m, cl, strat, train, opts)
+	strat := req.Strategy()
+	o, err := adapipe.SimulateContext(context.Background(), req, *workers)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	if o.Err != nil {
 		fatalf("%v", o.Err)
 	}

@@ -1,0 +1,100 @@
+// Command adapiped is the AdaPipe planner daemon: a long-lived HTTP JSON
+// service over the versioned request schema, with an LRU plan cache,
+// singleflight request coalescing, bounded-concurrency admission and graceful
+// shutdown. It is the serving path of the search engine — schedulers submit
+// the same few configurations over and over, and repeated searches come back
+// byte-identical from cache without re-running the DP.
+//
+// Endpoints:
+//
+//	POST /v1/plan      plan a request           (cached, coalesced)
+//	POST /v1/simulate  plan + simulate a request
+//	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text exposition
+//
+// Example:
+//
+//	adapiped -addr :8844 &
+//	curl -s -X POST localhost:8844/v1/plan -d \
+//	  '{"model":"gpt3","tp":8,"pp":8,"dp":1,"seq_len":16384,"global_batch":32}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"adapipe/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8844", "listen address (host:port; port 0 picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the actual listen address to this file once serving (for harnesses using port 0)")
+		cache    = flag.Int("cache", 256, "plan-cache bound in entries (negative disables caching)")
+		inflight = flag.Int("inflight", 2, "max concurrently executing searches (the admission gate)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request search deadline, admission queueing included")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "search worker-pool size per request")
+		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		CacheSize:      *cache,
+		MaxInFlight:    *inflight,
+		RequestTimeout: *timeout,
+		Workers:        *workers,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("adapiped: %v received, draining (budget %s)\n", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		// Stop accepting, let in-flight handlers finish, then cancel any
+		// search still running past the budget.
+		err := httpSrv.Shutdown(ctx)
+		srv.Close()
+		done <- err
+	}()
+
+	fmt.Printf("adapiped: listening on %s (cache %d entries, %d in-flight, %s timeout, %d workers)\n",
+		bound, *cache, *inflight, *timeout, *workers)
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatalf("%v", err)
+	}
+	if err := <-done; err != nil {
+		// Drain budget exceeded: cancel searches and force-close.
+		srv.Close()
+		_ = httpSrv.Close()
+		fatalf("graceful shutdown incomplete: %v", err)
+	}
+	fmt.Println("adapiped: bye")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "adapiped: "+format+"\n", args...)
+	os.Exit(1)
+}

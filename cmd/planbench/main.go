@@ -15,18 +15,19 @@ import (
 	"time"
 
 	"adapipe/internal/core"
-	"adapipe/internal/hardware"
-	"adapipe/internal/model"
 	"adapipe/internal/obs"
-	"adapipe/internal/parallel"
+	"adapipe/internal/request"
 )
 
+// gptPlanner builds the benchmark planner through the versioned request
+// schema — the same construction path the CLI and the adapiped daemon use —
+// so the benchmark measures exactly what serving runs.
 func gptPlanner(workers int) (*core.Planner, error) {
-	opts := core.DefaultOptions()
-	opts.Workers = workers
-	return core.NewPlanner(model.GPT3_175B(), hardware.ClusterA(),
-		parallel.Strategy{TP: 8, PP: 8, DP: 1},
-		parallel.Config{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384}, opts)
+	req := request.PlanRequest{
+		Model: "gpt3", Cluster: "a", Method: "AdaPipe",
+		TP: 8, PP: 8, DP: 1, SeqLen: 16384, GlobalBatch: 32,
+	}
+	return req.NewPlanner(workers)
 }
 
 func benchSearch(workers int) testing.BenchmarkResult {

@@ -1,0 +1,223 @@
+// Command servesmoke is the end-to-end smoke test for the adapiped daemon.
+// It spawns a built daemon binary on an ephemeral port and walks the serving
+// contract from the outside: /healthz answers, a cold /v1/plan runs exactly
+// one search, the identical repeat is a cache hit with a byte-identical body
+// and no extra knapsack work, and SIGTERM drains to a clean exit. Any
+// violation exits non-zero, so `make serve-smoke` is a pass/fail gate.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const planBody = `{"model":"tiny","tiny_layers":12,"cluster":"a","method":"AdaPipe","tp":1,"pp":4,"dp":1,"seq_len":2048,"global_batch":16,"micro_batch":1}`
+
+func main() {
+	daemon := flag.String("daemon", "bin/adapiped", "path to the built adapiped binary")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall smoke budget")
+	flag.Parse()
+
+	if err := run(*daemon, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: PASS")
+}
+
+func run(daemon string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	dir, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	addrFile := filepath.Join(dir, "addr")
+
+	var daemonOut bytes.Buffer
+	cmd := exec.Command(daemon,
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+		"-cache", "8", "-inflight", "2", "-timeout", "20s")
+	cmd.Stdout = &daemonOut
+	cmd.Stderr = &daemonOut
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting %s: %w", daemon, err)
+	}
+	// exited is closed once the daemon terminates; exitErr holds its Wait
+	// result. A closed channel can be received from any number of times, so
+	// both the failure-path cleanup and the shutdown check can wait on it.
+	var exitErr error
+	exited := make(chan struct{})
+	go func() { exitErr = cmd.Wait(); close(exited) }()
+	// On any failure path, make sure the daemon does not outlive the harness.
+	defer func() {
+		_ = cmd.Process.Kill()
+		<-exited
+	}()
+
+	addr, err := waitForAddr(addrFile, exited, deadline, &daemonOut)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	// 1. Liveness.
+	if err := waitHealthy(base, deadline); err != nil {
+		return fmt.Errorf("healthz: %v\ndaemon output:\n%s", err, daemonOut.String())
+	}
+	fmt.Printf("servesmoke: daemon healthy on %s\n", addr)
+
+	// 2. Cold plan: one search, disposition "miss".
+	cold, disp, err := postPlan(base)
+	if err != nil {
+		return err
+	}
+	if disp != "miss" {
+		return fmt.Errorf("first plan disposition = %q, want miss", disp)
+	}
+	m, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	if m["adapipe_serve_searches_total"] != 1 {
+		return fmt.Errorf("after cold plan searches_total = %v, want 1", m["adapipe_serve_searches_total"])
+	}
+	knapsacks := m["adapipe_serve_knapsack_runs_total"]
+	if knapsacks <= 0 {
+		return fmt.Errorf("cold search reported %v knapsack runs, want > 0", knapsacks)
+	}
+	fmt.Printf("servesmoke: cold plan searched (%v knapsack runs)\n", knapsacks)
+
+	// 3. Repeat: cache hit, byte-identical body, zero extra search work.
+	warm, disp, err := postPlan(base)
+	if err != nil {
+		return err
+	}
+	if disp != "hit" {
+		return fmt.Errorf("repeat plan disposition = %q, want hit", disp)
+	}
+	if !bytes.Equal(cold, warm) {
+		return fmt.Errorf("cached response differs from cold response:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	m, err = scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	switch {
+	case m["adapipe_serve_cache_hits_total"] != 1:
+		return fmt.Errorf("cache_hits_total = %v, want 1", m["adapipe_serve_cache_hits_total"])
+	case m["adapipe_serve_searches_total"] != 1:
+		return fmt.Errorf("repeat re-searched: searches_total = %v, want 1", m["adapipe_serve_searches_total"])
+	case m["adapipe_serve_knapsack_runs_total"] != knapsacks:
+		return fmt.Errorf("repeat did knapsack work: %v -> %v", knapsacks, m["adapipe_serve_knapsack_runs_total"])
+	}
+	fmt.Println("servesmoke: repeat served from cache, byte-identical, no extra search work")
+
+	// 4. Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signalling daemon: %w", err)
+	}
+	select {
+	case <-exited:
+		if exitErr != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v\ndaemon output:\n%s", exitErr, daemonOut.String())
+		}
+	case <-time.After(time.Until(deadline)):
+		return fmt.Errorf("daemon did not exit within budget after SIGTERM\ndaemon output:\n%s", daemonOut.String())
+	}
+	fmt.Println("servesmoke: SIGTERM drained to clean exit")
+	return nil
+}
+
+// waitForAddr polls the -addr-file the daemon writes once its listener is
+// bound, bailing out early if the daemon dies first.
+func waitForAddr(path string, exited <-chan struct{}, deadline time.Time, out *bytes.Buffer) (string, error) {
+	for time.Now().Before(deadline) {
+		select {
+		case <-exited:
+			return "", fmt.Errorf("daemon exited before binding\ndaemon output:\n%s", out.String())
+		default:
+		}
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return strings.TrimSpace(string(b)), nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "", fmt.Errorf("daemon never wrote its address file\ndaemon output:\n%s", out.String())
+}
+
+func waitHealthy(base string, deadline time.Time) error {
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && strings.Contains(string(body), "ok") {
+				return nil
+			}
+			lastErr = fmt.Errorf("status %d body %q", resp.StatusCode, body)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return lastErr
+}
+
+func postPlan(base string) (body []byte, disposition string, err error) {
+	resp, err := http.Post(base+"/v1/plan", "application/json", strings.NewReader(planBody))
+	if err != nil {
+		return nil, "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("/v1/plan status %d: %s", resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Adapipe-Cache"), nil
+}
+
+// scrapeMetrics parses the unlabelled adapipe_serve_* gauges out of the
+// Prometheus text exposition. Labelled series (requests_total) are skipped;
+// the smoke assertions only need the scalar counters.
+func scrapeMetrics(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out, nil
+}

@@ -5,6 +5,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -104,6 +105,13 @@ func (o Outcome) Feasible() bool { return !o.OOM && o.Err == nil }
 // their peak consumption can be reported (Figure 8); OOM is then flagged from
 // the simulated peak.
 func Evaluate(m Method, cfg model.Config, cluster hardware.Cluster, strat parallel.Strategy, train parallel.Config, opts core.Options) Outcome {
+	return EvaluateContext(context.Background(), m, cfg, cluster, strat, train, opts)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation: the context is
+// threaded into the planner's search (core.PlanContext), and a cancelled
+// evaluation reports ctx.Err() in Outcome.Err rather than a misdiagnosed OOM.
+func EvaluateContext(ctx context.Context, m Method, cfg model.Config, cluster hardware.Cluster, strat parallel.Strategy, train parallel.Config, opts core.Options) Outcome {
 	out := Outcome{Method: m, Strategy: strat}
 	opts.Recompute = m.Recompute
 	opts.Partition = m.Partition
@@ -116,8 +124,12 @@ func Evaluate(m Method, cfg model.Config, cluster hardware.Cluster, strat parall
 		out.Err = err
 		return out
 	}
-	plan, err := planner.Plan()
+	plan, err := planner.PlanContext(ctx)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			out.Err = cerr
+			return out
+		}
 		if m.Adaptive() {
 			out.OOM = true
 			return out

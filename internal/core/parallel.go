@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"adapipe/internal/pool"
@@ -42,7 +43,12 @@ type prefillTask struct {
 // (the serial DP skips ranges whose successor state is infeasible), so
 // parallel SearchStats may count somewhat more knapsack runs than serial —
 // the plan, however, never differs.
-func (pl *Planner) prefillCosts(workers int) {
+//
+// Cancellation: when ctx is done the workers stop pulling tasks, only the
+// tasks that actually completed are merged into the cache (a half-run prefill
+// must never poison it with zero-valued entries), and the context error is
+// returned so PlanContext can abandon the search.
+func (pl *Planner) prefillCosts(ctx context.Context, workers int) error {
 	L := len(pl.layers)
 	p := pl.strat.PP
 
@@ -77,11 +83,12 @@ func (pl *Planner) prefillCosts(workers int) {
 	}
 	pl.mu.Unlock()
 	if len(tasks) == 0 {
-		return
+		return ctx.Err()
 	}
 
 	workers = pool.Clamp(workers, len(tasks))
 	results := make([]stageCost, len(tasks))
+	done := make([]bool, len(tasks))
 	statsW := make([]SearchStats, workers)
 	busy := make([]time.Duration, workers)
 	solvers := make([]*recompute.Solver, workers)
@@ -89,25 +96,33 @@ func (pl *Planner) prefillCosts(workers int) {
 		solvers[w] = recompute.NewSolver()
 	}
 	wallStart := time.Now()
-	pool.Run(workers, len(tasks), func(w, i int) {
+	runErr := pool.RunContext(ctx, workers, len(tasks), func(w, i int) {
 		t := tasks[i]
 		start := time.Now()
 		results[i] = pl.solveStage(t.s, t.i, t.j, solvers[w], &statsW[w])
+		done[i] = true
 		busy[w] += time.Since(start)
 	})
 	wall := time.Since(wallStart)
 
 	pl.mu.Lock()
+	merged := 0
 	for i, t := range tasks {
-		// A concurrent Plan call may have raced a key in; first write wins
-		// (all writers compute identical values).
+		// Skip tasks the cancelled pool never ran — their zero-valued
+		// results would poison the cache. A concurrent Plan call may have
+		// raced a key in; first write wins (all writers compute identical
+		// values).
+		if !done[i] {
+			continue
+		}
+		merged++
 		if _, cached := pl.cache[t.key]; !cached {
 			pl.cache[t.key] = results[i]
 		}
 	}
 	// Each prefill solve is one cost evaluation served without a cache hit,
 	// matching what the serial miss path would have counted.
-	pl.Stats.CostEvaluations += len(tasks)
+	pl.Stats.CostEvaluations += merged
 	for w := range statsW {
 		pl.Stats.KnapsackRuns += statsW[w].KnapsackRuns
 		pl.Stats.KnapsackCells += statsW[w].KnapsackCells
@@ -117,4 +132,5 @@ func (pl *Planner) prefillCosts(workers int) {
 	}
 	pl.Stats.ParallelWall += wall
 	pl.mu.Unlock()
+	return runErr
 }

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -504,14 +505,37 @@ func (pl *Planner) quantumFor(budget int64) int64 {
 // search. Plan is safe to call concurrently on one planner (the cost cache
 // and counters are shared under a lock).
 func (pl *Planner) Plan() (*Plan, error) {
+	return pl.PlanContext(context.Background())
+}
+
+// PlanContext is Plan with cooperative cancellation: the prefill worker pool
+// stops pulling solves once ctx is done, the partition DP short-circuits its
+// remaining cost evaluations, and ctx.Err() is returned instead of a plan.
+// Cancellation is result-safe — a cancelled search merges only fully-computed
+// cost entries into the shared cache, so a later search on the same planner
+// still produces plans byte-identical to a never-cancelled one
+// (TestPlanContextCancelKeepsCacheClean). An uncancelled context changes
+// nothing: PlanContext(context.Background()) is exactly Plan.
+func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	searchStart := time.Now()
 	L := len(pl.layers)
 	p := pl.strat.PP
 	workers := pl.workerCount()
 	if workers > 1 && pl.opts.Partition != PartitionEven {
-		pl.prefillCosts(workers)
+		if err := pl.prefillCosts(ctx, workers); err != nil {
+			return nil, err
+		}
 	}
 	cost := func(s, i, j int) (float64, float64, bool) {
+		// A cancelled context turns every remaining cost lookup into an
+		// immediate "infeasible" so the DP unwinds quickly; whatever partial
+		// solution it then returns is discarded below in favor of ctx.Err().
+		if ctx.Err() != nil {
+			return 0, 0, false
+		}
 		c := pl.stageCostFor(s, i, j)
 		return c.fwd, c.bwd, c.ok
 	}
@@ -527,6 +551,9 @@ func (pl *Planner) Plan() (*Plan, error) {
 		}
 		sol, _, err := partition.SolveExactWorkers(L, p, pl.n, cost, maxFrontier, workers)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("core: %w (OOM under every partitioning)", err)
 		}
 		bounds = sol.Bounds
@@ -537,6 +564,9 @@ func (pl *Planner) Plan() (*Plan, error) {
 		var ok bool
 		total, w, e, m, ok = partition.Evaluate(bounds, pl.n, cost)
 		if !ok {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("core: %s with even partitioning exceeds the %s memory capacity (OOM)",
 				pl.opts.Recompute, pl.cluster.Device.Name)
 		}
@@ -544,6 +574,9 @@ func (pl *Planner) Plan() (*Plan, error) {
 	default:
 		sol, err := partition.SolveWorkers(L, p, pl.n, cost, workers)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("core: %w (OOM under every partitioning)", err)
 		}
 		bounds = sol.Bounds
@@ -551,6 +584,11 @@ func (pl *Planner) Plan() (*Plan, error) {
 		cellsAdd = sol.DPCells
 	}
 
+	// A cancellation that raced the DP's final cells may have produced a
+	// structurally valid but stale solution; never hand it out.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	plan := &Plan{
 		Model:        pl.cfg.Name,
 		Strategy:     pl.strat,

@@ -1,0 +1,50 @@
+package obs
+
+// ServeStats is a point-in-time snapshot of the adapiped serving layer's
+// counters. The serve package owns the live atomics; this plain-value
+// snapshot is the exposition boundary, so the metrics surface stays in one
+// place alongside the search/sim/fault gauges.
+type ServeStats struct {
+	// PlanRequests and SimulateRequests count accepted POSTs per endpoint
+	// (including ones that later failed).
+	PlanRequests, SimulateRequests int64
+	// CacheHits and CacheMisses split plan lookups by whether the LRU plan
+	// cache already held the response bytes; CacheEvictions counts entries
+	// the bound pushed out, and CacheEntries is the current population.
+	CacheHits, CacheMisses, CacheEvictions, CacheEntries int64
+	// Coalesced counts requests that piggybacked on another request's
+	// in-flight search instead of starting their own (singleflight).
+	Coalesced int64
+	// Searches counts plan searches actually executed (cache misses that
+	// were singleflight leaders); KnapsackRuns sums the §4 DP solves those
+	// searches performed, and SearchWallSeconds their summed wall time.
+	Searches          int64
+	KnapsackRuns      int64
+	SearchWallSeconds float64
+	// InFlight is the number of searches currently holding an admission
+	// slot; Rejected counts requests that timed out waiting for one.
+	InFlight, Rejected int64
+	// Errors counts requests answered with a non-2xx status.
+	Errors int64
+}
+
+// ServeMetrics converts a serving snapshot into Prometheus gauges under the
+// given name prefix (e.g. "adapipe_serve"). The slice order is fixed, so the
+// rendered exposition is deterministic for a given snapshot.
+func ServeMetrics(prefix string, s ServeStats) []Metric {
+	return []Metric{
+		{Name: prefix + "_requests_total", Help: "accepted requests by endpoint", Labels: [][2]string{{"endpoint", "plan"}}, Value: float64(s.PlanRequests)},
+		{Name: prefix + "_requests_total", Labels: [][2]string{{"endpoint", "simulate"}}, Value: float64(s.SimulateRequests)},
+		{Name: prefix + "_cache_hits_total", Help: "plan lookups served from the LRU response cache", Value: float64(s.CacheHits)},
+		{Name: prefix + "_cache_misses_total", Help: "plan lookups that required a search", Value: float64(s.CacheMisses)},
+		{Name: prefix + "_cache_evictions_total", Help: "cached responses evicted by the LRU bound", Value: float64(s.CacheEvictions)},
+		{Name: prefix + "_cache_entries", Help: "responses currently cached", Value: float64(s.CacheEntries)},
+		{Name: prefix + "_coalesced_total", Help: "requests that shared another request's in-flight search", Value: float64(s.Coalesced)},
+		{Name: prefix + "_searches_total", Help: "plan searches executed", Value: float64(s.Searches)},
+		{Name: prefix + "_knapsack_runs_total", Help: "recomputation DPs solved across all searches", Value: float64(s.KnapsackRuns)},
+		{Name: prefix + "_search_wall_seconds_total", Help: "summed search wall time in seconds", Value: s.SearchWallSeconds},
+		{Name: prefix + "_in_flight", Help: "searches currently holding an admission slot", Value: float64(s.InFlight)},
+		{Name: prefix + "_rejected_total", Help: "requests that timed out waiting for admission", Value: float64(s.Rejected)},
+		{Name: prefix + "_errors_total", Help: "requests answered with a non-2xx status", Value: float64(s.Errors)},
+	}
+}

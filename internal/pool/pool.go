@@ -8,6 +8,7 @@
 package pool
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,12 +50,27 @@ func Clamp(workers, n int) int {
 // workers have drained, so a panicking solve fails the plan rather than
 // killing the process from an anonymous goroutine.
 func Run(workers, n int, fn func(worker, i int)) {
+	// context.Background() never cancels, so the error is always nil.
+	_ = RunContext(context.Background(), workers, n, fn)
+}
+
+// RunContext is Run with cooperative cancellation: workers stop pulling new
+// indices once ctx is done, already-started fn calls run to completion, and
+// after every worker has joined the context error (if any) is returned.
+// Callers must treat a non-nil error as "an unknown subset of indices never
+// ran" and discard or filter the partial results — fn should record which
+// indices it completed. Cancellation never interrupts fn mid-flight, so
+// per-index outputs are always either absent or fully computed, never torn.
+func RunContext(ctx context.Context, workers, n int, fn func(worker, i int)) error {
 	workers = Clamp(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(0, i)
 		}
-		return
+		return ctx.Err()
 	}
 	var (
 		next     atomic.Int64
@@ -75,7 +91,7 @@ func Run(workers, n int, fn func(worker, i int)) {
 					panicMu.Unlock()
 				}
 			}()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -88,4 +104,5 @@ func Run(workers, n int, fn func(worker, i int)) {
 	if panicked != nil {
 		panic(fmt.Sprintf("pool: worker panic: %v", panicked))
 	}
+	return ctx.Err()
 }

@@ -1,6 +1,8 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -90,5 +92,37 @@ func TestClamp(t *testing.T) {
 func TestDefault(t *testing.T) {
 	if Default() < 1 {
 		t.Fatalf("Default() = %d", Default())
+	}
+}
+
+func TestRunContextCancelStopsDispatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 10000
+		err := RunContext(ctx, workers, n, func(w, i int) {
+			if ran.Add(1) == 8 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		// Each worker may finish the item it already pulled, but dispatch
+		// stops: far fewer than n items run.
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: cancellation did not stop dispatch (%d items ran)", workers, got)
+		}
+		cancel()
+	}
+}
+
+func TestRunContextUncancelledRunsAll(t *testing.T) {
+	var ran atomic.Int64
+	if err := RunContext(context.Background(), 4, 100, func(w, i int) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100", ran.Load())
 	}
 }

@@ -1,0 +1,262 @@
+package request
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"adapipe/internal/core"
+	"adapipe/internal/hardware"
+	"adapipe/internal/model"
+)
+
+func tinyReq() PlanRequest {
+	return PlanRequest{Model: "tiny", TP: 1, PP: 4, DP: 1, SeqLen: 2048, GlobalBatch: 8}
+}
+
+// newPositional is the scattered five-argument constructor the request path
+// replaces; the differential test below keeps the two in lockstep.
+func newPositional(cfg model.Config, cl hardware.Cluster, r PlanRequest, opts core.Options) (*core.Planner, error) {
+	return core.NewPlanner(cfg, cl, r.Strategy(), r.TrainingConfig(), opts)
+}
+
+func TestNormalizeAppliesDefaults(t *testing.T) {
+	n, err := tinyReq().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Version != 1 || n.Cluster != "a" || n.Method != "AdaPipe" || n.MicroBatch != 1 || n.TinyLayers != 8 {
+		t.Fatalf("defaults not applied: %+v", n)
+	}
+	// Idempotent.
+	again, err := n.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != n {
+		t.Fatalf("Normalize not idempotent: %+v vs %+v", again, n)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*PlanRequest)
+		want string
+	}{
+		{"version", func(r *PlanRequest) { r.Version = 2 }, "unsupported schema version"},
+		{"model", func(r *PlanRequest) { r.Model = "bert" }, "unknown model"},
+		{"no model", func(r *PlanRequest) { r.Model = "" }, "model is required"},
+		{"cluster", func(r *PlanRequest) { r.Cluster = "c" }, "unknown cluster"},
+		{"method", func(r *PlanRequest) { r.Method = "MagicPipe" }, "unknown method"},
+		{"strategy", func(r *PlanRequest) { r.PP = 0 }, "must be >= 1"},
+		{"seq", func(r *PlanRequest) { r.SeqLen = 0 }, "seq_len"},
+		{"divisibility", func(r *PlanRequest) { r.GlobalBatch = 7; r.DP = 2; r.TP = 1 }, "not divisible"},
+		{"tiny layers on gpt3", func(r *PlanRequest) { r.Model = "gpt3"; r.TinyLayers = 4 }, "tiny_layers"},
+	}
+	for _, c := range cases {
+		r := tinyReq()
+		c.mut(&r)
+		if _, err := r.Normalize(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: want error containing %q, got %v", c.name, c.want, err)
+		}
+	}
+}
+
+func TestParsePlanRequestStrict(t *testing.T) {
+	good := []byte(`{"model":"tiny","tp":1,"pp":4,"dp":1,"seq_len":2048,"global_batch":8}`)
+	r, err := ParsePlanRequest(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Method != "AdaPipe" {
+		t.Fatalf("parsed request not normalized: %+v", r)
+	}
+	if _, err := ParsePlanRequest([]byte(`{"model":"tiny","tpp":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParsePlanRequest(append(good, []byte(`{"more":true}`)...)); err == nil {
+		t.Fatal("trailing JSON accepted")
+	}
+	if _, err := ParsePlanRequest(append(good, []byte(`garbage`)...)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestCanonicalIsRepresentationFree pins the core cache-identity property:
+// field order, whitespace and elided defaults must not change the canonical
+// bytes or the hash.
+func TestCanonicalIsRepresentationFree(t *testing.T) {
+	a, err := ParsePlanRequest([]byte(`{"model":"tiny","tp":1,"pp":4,"dp":1,"seq_len":2048,"global_batch":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParsePlanRequest([]byte(`{
+		"global_batch": 8, "seq_len": 2048,
+		"dp": 1, "pp": 4, "tp": 1,
+		"micro_batch": 1, "method": "AdaPipe", "cluster": "a",
+		"tiny_layers": 8, "model": "tiny", "version": 1
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("canonical bytes differ:\n%s\n%s", ca, cb)
+	}
+	ha, _ := a.Hash()
+	hb, _ := b.Hash()
+	if ha != hb || len(ha) != 64 {
+		t.Fatalf("hashes differ or malformed: %s vs %s", ha, hb)
+	}
+	// Keys must come out sorted.
+	var keys []string
+	dec := json.NewDecoder(bytes.NewReader(ca))
+	dec.Token() // {
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k, ok := tok.(string); ok {
+			keys = append(keys, k)
+			var v any
+			dec.Decode(&v)
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("canonical keys not sorted: %v", keys)
+		}
+	}
+}
+
+func TestHashSeparatesDifferentSearches(t *testing.T) {
+	base := tinyReq()
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*PlanRequest){
+		func(r *PlanRequest) { r.PP = 2 },
+		func(r *PlanRequest) { r.SeqLen = 4096 },
+		func(r *PlanRequest) { r.Method = "DAPPLE-Full" },
+		func(r *PlanRequest) { r.Cluster = "b" },
+		func(r *PlanRequest) { r.GlobalBatch = 16 },
+		func(r *PlanRequest) { r.TinyLayers = 6 },
+	}
+	for i, mut := range muts {
+		r := base
+		mut(&r)
+		h, err := r.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == h0 {
+			t.Errorf("mutation %d did not change the hash", i)
+		}
+	}
+}
+
+// TestNewPlannerMatchesPositionalPath proves the request-driven constructor
+// and the classic positional path build the same search: byte-identical plans.
+func TestNewPlannerMatchesPositionalPath(t *testing.T) {
+	req := PlanRequest{Model: "gpt3", Cluster: "a", TP: 8, PP: 8, DP: 1, SeqLen: 16384, GlobalBatch: 32}
+	pl, err := req.NewPlanner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := pl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := req.ModelConfig()
+	cl, _ := req.ClusterConfig()
+	opts, _ := req.Options(0)
+	pl2, err := newPositional(cfg, cl, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pl2.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(p1)
+	j2, _ := json.Marshal(p2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("request-driven plan differs from positional plan:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestPlanResponseRoundTrip(t *testing.T) {
+	req := tinyReq()
+	pl, err := req.NewPlanner(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := NewPlanResponse(req, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1, err := resp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePlanResponse(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("response encoding not stable across a round trip")
+	}
+	wantHash, _ := req.Hash()
+	if back.RequestHash != wantHash {
+		t.Fatalf("request hash %s, want %s", back.RequestHash, wantHash)
+	}
+	planBytes, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Plan, planBytes) {
+		t.Fatal("embedded plan bytes differ from the plan's own serialization")
+	}
+	if _, err := ParsePlanResponse([]byte(`{"version":99}`)); err == nil {
+		t.Fatal("future response version accepted")
+	}
+}
+
+func TestCanonicalizeJSONGeneric(t *testing.T) {
+	in := []byte(`{"b": [2, 1, {"z": null, "a": true}], "a": "x", "c": 1.50}`)
+	want := `{"a":"x","b":[2,1,{"a":true,"z":null}],"c":1.50}`
+	got, err := CanonicalizeJSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("canonical = %s, want %s", got, want)
+	}
+	// Stable under repetition.
+	again, err := CanonicalizeJSON(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, got) {
+		t.Fatal("canonicalization not idempotent")
+	}
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded, mutex-guarded LRU over encoded plan responses,
+// keyed by the request's canonical hash. Both Get and Put count as use:
+// the entries that fall off the tail are the ones no request has touched
+// longest, which for plan search (identical configs resubmitted by
+// schedulers) is exactly the amortization the §5.3 caches buy inside one
+// search, lifted across requests.
+type lruCache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions int64
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newLRUCache builds a cache bounded to max entries; max <= 0 disables
+// caching entirely (every Get misses, every Put is dropped).
+func newLRUCache(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached bytes for key and promotes the entry to
+// most-recently-used. The returned slice is shared — callers must not
+// mutate it.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts (or refreshes) an entry and evicts from the tail until the
+// bound holds again.
+func (c *lruCache) Put(key string, val []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Evictions returns the cumulative eviction count.
+func (c *lruCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Keys returns the cached keys from most to least recently used (test and
+// debugging aid).
+func (c *lruCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).key)
+	}
+	return out
+}

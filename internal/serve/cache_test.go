@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRUCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Touch k0 so k1 becomes the least recently used.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", []byte{3})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted (least recently used)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted out of order", k)
+		}
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+	// Refreshing an existing key must not evict.
+	c.Put("k2", []byte{42})
+	if got, _ := c.Get("k2"); got[0] != 42 {
+		t.Fatal("refresh did not replace the value")
+	}
+	if c.Len() != 3 || c.Evictions() != 1 {
+		t.Fatalf("len=%d evictions=%d after refresh, want 3 and 1", c.Len(), c.Evictions())
+	}
+	// MRU-first order is observable.
+	if want := []string{"k2", "k3", "k0"}; !reflect.DeepEqual(c.Keys(), want) {
+		t.Fatalf("keys = %v, want %v", c.Keys(), want)
+	}
+}
+
+func TestLRUSequentialEvictionIsFIFO(t *testing.T) {
+	c := newLRUCache(2)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), nil)
+	}
+	if want := []string{"k4", "k3"}; !reflect.DeepEqual(c.Keys(), want) {
+		t.Fatalf("keys = %v, want %v", c.Keys(), want)
+	}
+	if c.Evictions() != 3 {
+		t.Fatalf("evictions = %d, want 3", c.Evictions())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRUCache(-1)
+	c.Put("k", []byte{1})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache reports entries")
+	}
+}

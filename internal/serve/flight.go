@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightResult is what one search produced: the HTTP status, the response
+// body, and the cache disposition of the leader.
+type flightResult struct {
+	status int
+	body   []byte
+}
+
+// flightCall is one in-flight search shared by all requests with the same
+// canonical hash.
+type flightCall struct {
+	done chan struct{} // closed when res is final
+	res  flightResult
+}
+
+// flightGroup implements request coalescing (singleflight): the first
+// request for a key becomes the leader and runs fn; every request that
+// arrives while the leader is still running waits for the leader's result
+// instead of starting a second identical search. The call is deregistered
+// before waiters are released, so a request arriving after completion starts
+// fresh (by then the response cache answers it).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do returns fn's result for key, executing fn at most once across all
+// concurrent callers with the same key. coalesced reports whether this
+// caller piggybacked on another caller's execution. A waiter whose ctx ends
+// before the leader finishes gets ctx.Err(); the leader itself is never
+// interrupted by a waiter's context (fn carries its own deadline), so one
+// impatient client cannot poison the result every other waiter gets.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() flightResult) (res flightResult, coalesced bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, true, nil
+		case <-ctx.Done():
+			return flightResult{}, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.res = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, false, nil
+}

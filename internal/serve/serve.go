@@ -1,0 +1,427 @@
+// Package serve turns the AdaPipe planner into a long-lived service: an HTTP
+// JSON API (POST /v1/plan, POST /v1/simulate, GET /healthz, GET /metrics)
+// over the versioned request schema of internal/request. The serving layer
+// amortizes plan search across requests the same way §5.3 amortizes knapsack
+// solves across ranges inside one search:
+//
+//   - a bounded LRU cache keyed by the request's canonical hash returns
+//     byte-identical responses for repeated searches without re-running the
+//     DP;
+//   - singleflight coalescing collapses N concurrent identical requests into
+//     one search whose result every waiter shares;
+//   - a bounded-concurrency admission gate caps simultaneous searches, and
+//     each admitted search runs under a deadline threaded down into the
+//     parallel search (core.PlanContext / pool.RunContext), so a shutdown or
+//     timeout cancels the knapsack fan-out instead of orphaning it.
+//
+// Everything observable is deterministic: cached, coalesced and cold
+// responses for one request are the same bytes.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"adapipe/internal/baseline"
+	"adapipe/internal/core"
+	"adapipe/internal/obs"
+	"adapipe/internal/pool"
+	"adapipe/internal/request"
+)
+
+// Cache-disposition values of the X-Adapipe-Cache response header.
+const (
+	// CacheHit marks a response served from the LRU cache.
+	CacheHit = "hit"
+	// CacheMiss marks a response computed by a fresh search.
+	CacheMiss = "miss"
+	// CacheCoalesced marks a response shared from another request's
+	// concurrently-running search.
+	CacheCoalesced = "coalesced"
+
+	headerCache = "X-Adapipe-Cache"
+	headerHash  = "X-Adapipe-Request-Hash"
+
+	maxBodyBytes = 1 << 20
+)
+
+// Config tunes the serving layer. The zero value selects the defaults.
+type Config struct {
+	// CacheSize bounds the LRU plan cache in entries (default 256; negative
+	// disables caching).
+	CacheSize int
+	// MaxInFlight bounds concurrently executing searches; further requests
+	// queue on the admission gate until a slot frees or their deadline
+	// expires (default 2).
+	MaxInFlight int
+	// RequestTimeout bounds one search end to end, queueing included
+	// (default 30s).
+	RequestTimeout time.Duration
+	// Workers sizes each search's worker pool (default GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = pool.Default()
+	}
+	return c
+}
+
+// Server is the planner service. Create it with New, expose it via Handler,
+// and Close it to cancel in-flight searches on shutdown.
+type Server struct {
+	cfg    Config
+	base   context.Context
+	cancel context.CancelFunc
+	sem    chan struct{}
+	cache  *lruCache
+	flight *flightGroup
+
+	// planFn runs one search; tests substitute it to script timing.
+	planFn func(ctx context.Context, req request.PlanRequest) (*core.Plan, error)
+
+	planReqs, simReqs              atomic.Int64
+	hits, misses, coalescedCount   atomic.Int64
+	searches, rejected, errorCount atomic.Int64
+	inFlight                       atomic.Int64
+	knapsackRuns                   atomic.Int64
+	searchWallNanos                atomic.Int64
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		base:   base,
+		cancel: cancel,
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		cache:  newLRUCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+	}
+	s.planFn = s.searchPlan
+	return s
+}
+
+// Close cancels the server's base context: queued requests stop waiting for
+// admission and running searches unwind through their contexts. Safe to call
+// more than once.
+func (s *Server) Close() { s.cancel() }
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	return mux
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() obs.ServeStats {
+	return obs.ServeStats{
+		PlanRequests:      s.planReqs.Load(),
+		SimulateRequests:  s.simReqs.Load(),
+		CacheHits:         s.hits.Load(),
+		CacheMisses:       s.misses.Load(),
+		CacheEvictions:    s.cache.Evictions(),
+		CacheEntries:      int64(s.cache.Len()),
+		Coalesced:         s.coalescedCount.Load(),
+		Searches:          s.searches.Load(),
+		KnapsackRuns:      s.knapsackRuns.Load(),
+		SearchWallSeconds: time.Duration(s.searchWallNanos.Load()).Seconds(),
+		InFlight:          s.inFlight.Load(),
+		Rejected:          s.rejected.Load(),
+		Errors:            s.errorCount.Load(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "healthz accepts GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "metrics accepts GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, obs.RenderProm(obs.ServeMetrics("adapipe_serve", s.Stats())))
+}
+
+// handlePlan serves POST /v1/plan: parse and validate the request, answer
+// from the cache when the canonical hash is known, otherwise coalesce into
+// (or lead) the one search for that hash.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	req, hash, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	s.planReqs.Add(1)
+
+	if body, ok := s.cache.Get(hash); ok {
+		s.hits.Add(1)
+		s.writeResult(w, hash, CacheHit, flightResult{status: http.StatusOK, body: body})
+		return
+	}
+
+	res, coalesced, err := s.flight.Do(r.Context(), hash, func() flightResult {
+		return s.runPlanSearch(req, hash)
+	})
+	if err != nil {
+		// This waiter's own context ended before the leader finished; the
+		// leader keeps running for everyone else.
+		s.writeError(w, http.StatusGatewayTimeout, "request cancelled while waiting for a coalesced search")
+		return
+	}
+	disposition := CacheMiss
+	if coalesced {
+		disposition = CacheCoalesced
+		s.coalescedCount.Add(1)
+	} else if res.status == http.StatusOK {
+		s.misses.Add(1)
+	}
+	s.writeResult(w, hash, disposition, res)
+}
+
+// runPlanSearch is the singleflight leader body: admission, the search
+// itself, response encoding, cache insertion.
+func (s *Server) runPlanSearch(req request.PlanRequest, hash string) flightResult {
+	ctx, cancel, admitted := s.admit()
+	defer cancel()
+	if !admitted {
+		s.rejected.Add(1)
+		return errResult(http.StatusServiceUnavailable, "admission queue timeout: server at capacity")
+	}
+	defer s.release()
+
+	start := time.Now()
+	plan, err := s.planFn(ctx, req)
+	s.searchWallNanos.Add(int64(time.Since(start)))
+	if err != nil {
+		return s.searchErrResult(ctx, err)
+	}
+	s.knapsackRuns.Add(int64(plan.Search.KnapsackRuns))
+	resp, err := request.NewPlanResponse(req, plan)
+	if err != nil {
+		return errResult(http.StatusInternalServerError, err.Error())
+	}
+	body, err := resp.Encode()
+	if err != nil {
+		return errResult(http.StatusInternalServerError, err.Error())
+	}
+	s.cache.Put(hash, body)
+	return flightResult{status: http.StatusOK, body: body}
+}
+
+// handleSimulate serves POST /v1/simulate: the same request schema, planned
+// and then executed on the discrete-event simulator under the method's
+// pipeline schedule. Simulation output depends on the full outcome (per-
+// device series), so it bypasses the plan cache; the admission gate and
+// deadline still apply.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, hash, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	s.simReqs.Add(1)
+
+	ctx, cancel, admitted := s.admit()
+	defer cancel()
+	if !admitted {
+		s.rejected.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "admission queue timeout: server at capacity")
+		return
+	}
+	defer s.release()
+
+	meth, err := req.MethodConfig()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg, err := req.ModelConfig()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cl, err := req.ClusterConfig()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.searches.Add(1)
+	s.inFlight.Add(1)
+	start := time.Now()
+	outcome := baseline.EvaluateContext(ctx, meth, cfg, cl, req.Strategy(), req.TrainingConfig(), mustOptions(req, s.cfg.Workers))
+	s.searchWallNanos.Add(int64(time.Since(start)))
+	s.inFlight.Add(-1)
+	if outcome.Err != nil {
+		res := s.searchErrResult(ctx, outcome.Err)
+		s.writeResult(w, hash, CacheMiss, res)
+		return
+	}
+	if outcome.Plan == nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "configuration is infeasible (OOM) under the requested method")
+		return
+	}
+	s.knapsackRuns.Add(int64(outcome.Plan.Search.KnapsackRuns))
+	planJSON, err := json.Marshal(outcome.Plan)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := request.SimulateResponse{
+		Version:     request.Version,
+		RequestHash: hash,
+		Method:      meth.Name,
+		Schedule:    request.ScheduleName(meth.Schedule),
+		IterSec:     outcome.Sim.IterTime,
+		BubbleRatio: outcome.Sim.BubbleRatio(),
+		PeakBytes:   outcome.Sim.PeakMem,
+		OOM:         outcome.OOM,
+		Plan:        planJSON,
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.writeResult(w, hash, CacheMiss, flightResult{status: http.StatusOK, body: body})
+}
+
+// decodeRequest reads, parses, validates and hashes the request body,
+// answering 4xx itself on failure.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (request.PlanRequest, string, bool) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "plan endpoints accept POST only")
+		return request.PlanRequest{}, "", false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds 1 MiB")
+		} else {
+			s.writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		}
+		return request.PlanRequest{}, "", false
+	}
+	req, err := request.ParsePlanRequest(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return request.PlanRequest{}, "", false
+	}
+	hash, err := req.Hash()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return request.PlanRequest{}, "", false
+	}
+	return req, hash, true
+}
+
+// admit acquires an admission slot under a fresh request deadline derived
+// from the server's base context (so a shutdown cancels queued waiters too).
+// The returned context governs the whole search; cancel must always be
+// called. admitted=false means the deadline or shutdown arrived first.
+func (s *Server) admit() (ctx context.Context, cancel context.CancelFunc, admitted bool) {
+	ctx, cancel = context.WithTimeout(s.base, s.cfg.RequestTimeout)
+	select {
+	case s.sem <- struct{}{}:
+		return ctx, cancel, true
+	case <-ctx.Done():
+		return ctx, cancel, false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// searchPlan is the production planFn: build the planner from the request
+// schema and run the context-aware search.
+func (s *Server) searchPlan(ctx context.Context, req request.PlanRequest) (*core.Plan, error) {
+	pl, err := req.NewPlanner(s.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.searches.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	return pl.PlanContext(ctx)
+}
+
+// searchErrResult maps a failed search onto a status: deadline → 504,
+// shutdown → 503, anything else (OOM, invalid config the planner rejected) →
+// 422.
+func (s *Server) searchErrResult(ctx context.Context, err error) flightResult {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return errResult(http.StatusGatewayTimeout, "search exceeded the request deadline")
+	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+		return errResult(http.StatusServiceUnavailable, "server shutting down")
+	default:
+		return errResult(http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
+// mustOptions builds the method-applied planner options; the request was
+// already normalized by decodeRequest, so this cannot fail.
+func mustOptions(req request.PlanRequest, workers int) core.Options {
+	opts, err := req.Options(workers)
+	if err != nil {
+		// Unreachable after ParsePlanRequest; fall back to defaults.
+		opts = core.DefaultOptions()
+		opts.Workers = workers
+	}
+	return opts
+}
+
+func errResult(status int, msg string) flightResult {
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+	return flightResult{status: status, body: append(body, '\n')}
+}
+
+// writeResult emits a search result with the cache-disposition headers. Error
+// statuses are counted once here, whichever path produced them.
+func (s *Server) writeResult(w http.ResponseWriter, hash, disposition string, res flightResult) {
+	if res.status < 200 || res.status >= 300 {
+		s.errorCount.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(headerCache, disposition)
+	w.Header().Set(headerHash, hash)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.errorCount.Add(1)
+	res := errResult(status, msg)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -429,6 +430,14 @@ type RunResult struct {
 
 // Run builds a network, partitions it, and trains it on a synthetic corpus.
 func Run(rc RunConfig) (RunResult, error) {
+	return RunContext(context.Background(), rc)
+}
+
+// RunContext is Run with cooperative cancellation checked between optimizer
+// steps: a cancelled run returns the losses of the steps that completed plus
+// ctx.Err(), exactly like any other mid-run failure (the tail is never
+// zero-padded). Steps themselves are atomic — cancellation never tears one.
+func RunContext(ctx context.Context, rc RunConfig) (RunResult, error) {
 	net, err := NewNet(rc.Net)
 	if err != nil {
 		return RunResult{}, err
@@ -458,6 +467,10 @@ func Run(rc RunConfig) (RunResult, error) {
 		}
 	}
 	for step := 0; step < rc.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			finish()
+			return res, err
+		}
 		batches := corpus.Batches(rc.MicroBatches, rc.Net.Seq, rng)
 		loss, err := sup.Step(batches)
 		if err != nil {

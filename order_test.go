@@ -1,0 +1,73 @@
+package adapipe_test
+
+import (
+	"reflect"
+	"testing"
+
+	"adapipe"
+)
+
+// The planner's byte-identical-plans guarantee leans on every enumeration in
+// the public API having one fixed order. These tests pin the two orderings
+// callers iterate over: the method legend and the strategy sweep.
+
+func TestMethodsOrderIsDeterministic(t *testing.T) {
+	want := []string{
+		"DAPPLE-Full", "DAPPLE-Non",
+		"Chimera-Full", "Chimera-Non",
+		"ChimeraD-Full", "ChimeraD-Non",
+		"Even Partitioning", "AdaPipe",
+	}
+	names := func() []string {
+		ms := adapipe.Methods()
+		out := make([]string, len(ms))
+		for i, m := range ms {
+			out[i] = m.Name
+		}
+		return out
+	}
+	got := names()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Methods() order = %v, want the paper's legend order %v", got, want)
+	}
+	// Repeated calls must return the same order, not just the same set.
+	for i := 0; i < 3; i++ {
+		if again := names(); !reflect.DeepEqual(again, got) {
+			t.Fatalf("Methods() call %d reordered: %v vs %v", i+2, again, got)
+		}
+	}
+}
+
+func TestEnumerateStrategiesOrderIsDeterministic(t *testing.T) {
+	for _, devices := range []int{8, 16, 64} {
+		first := adapipe.EnumerateStrategies(devices)
+		if len(first) == 0 {
+			t.Fatalf("no strategies for %d devices", devices)
+		}
+		for i := 0; i < 3; i++ {
+			if again := adapipe.EnumerateStrategies(devices); !reflect.DeepEqual(again, first) {
+				t.Fatalf("EnumerateStrategies(%d) reordered across calls:\n%v\nvs\n%v", devices, again, first)
+			}
+		}
+		// The documented generation order: TP ascending, then PP ascending
+		// within a TP (both powers of two).
+		for i := 1; i < len(first); i++ {
+			a, b := first[i-1], first[i]
+			if b.TP < a.TP || (b.TP == a.TP && b.PP < a.PP) {
+				t.Fatalf("EnumerateStrategies(%d)[%d..%d] out of (TP, PP) order: %v then %v", devices, i-1, i, a, b)
+			}
+		}
+		// Every strategy covers exactly the device count; duplicates would
+		// make the sweep evaluate a point twice.
+		seen := map[adapipe.Strategy]bool{}
+		for _, s := range first {
+			if s.TP*s.PP*s.DP != devices {
+				t.Fatalf("strategy %v does not cover %d devices", s, devices)
+			}
+			if seen[s] {
+				t.Fatalf("duplicate strategy %v for %d devices", s, devices)
+			}
+			seen[s] = true
+		}
+	}
+}

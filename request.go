@@ -1,0 +1,81 @@
+package adapipe
+
+import (
+	"context"
+
+	"adapipe/internal/baseline"
+	"adapipe/internal/request"
+)
+
+// Versioned request API: every entry point — the adapipe CLI, the planbench
+// harness and the adapiped daemon — constructs planners from one PlanRequest
+// schema, so the flag surface and the HTTP surface cannot drift. Requests have
+// a canonical (sorted-key, deterministic) JSON encoding and a SHA-256 content
+// hash over it, which is the identity the daemon's plan cache keys on.
+type (
+	// PlanRequest is one plan-search request (schema version RequestVersion).
+	PlanRequest = request.PlanRequest
+	// PlanResponse is the versioned reply to a plan request; its Plan field
+	// embeds the plan's deterministic JSON verbatim.
+	PlanResponse = request.PlanResponse
+	// SimulateResponse is the versioned reply to a simulate request.
+	SimulateResponse = request.SimulateResponse
+)
+
+// RequestVersion is the current request/response schema version.
+const RequestVersion = request.Version
+
+// ParsePlanRequest decodes and validates a request from JSON: unknown fields
+// and trailing data are rejected, defaults are applied, and the result is
+// normalized (two requests that normalize equal are the same search).
+func ParsePlanRequest(data []byte) (PlanRequest, error) { return request.ParsePlanRequest(data) }
+
+// ParsePlanResponse decodes a plan response, checking the schema version.
+func ParsePlanResponse(data []byte) (PlanResponse, error) { return request.ParsePlanResponse(data) }
+
+// NewPlannerFromRequest constructs the planner a request describes. workers
+// sizes the search worker pool; it is an execution knob, deliberately outside
+// the request schema and its hash, because plans are byte-identical for every
+// worker count.
+func NewPlannerFromRequest(r PlanRequest, workers int) (*Planner, error) {
+	return r.NewPlanner(workers)
+}
+
+// PlanContext runs the request's search under ctx. Cancellation and deadlines
+// propagate into the parallel search: the planner stops dispatching work
+// promptly and returns ctx.Err() instead of a stale plan.
+func PlanContext(ctx context.Context, r PlanRequest, workers int) (*Plan, error) {
+	pl, err := r.NewPlanner(workers)
+	if err != nil {
+		return nil, err
+	}
+	return pl.PlanContext(ctx)
+}
+
+// SimulateContext plans the request and simulates it under its method's
+// pipeline schedule, with ctx threaded through the search. The returned error
+// reports an invalid request; search and simulation failures (including
+// cancellation) are reported in Outcome.Err, matching Evaluate.
+func SimulateContext(ctx context.Context, r PlanRequest, workers int) (Outcome, error) {
+	n, err := r.Normalize()
+	if err != nil {
+		return Outcome{}, err
+	}
+	m, err := n.MethodConfig()
+	if err != nil {
+		return Outcome{}, err
+	}
+	cfg, err := n.ModelConfig()
+	if err != nil {
+		return Outcome{}, err
+	}
+	cl, err := n.ClusterConfig()
+	if err != nil {
+		return Outcome{}, err
+	}
+	opts, err := n.Options(workers)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return baseline.EvaluateContext(ctx, m, cfg, cl, n.Strategy(), n.TrainingConfig(), opts), nil
+}

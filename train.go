@@ -1,6 +1,8 @@
 package adapipe
 
 import (
+	"context"
+
 	"adapipe/internal/experiments"
 	"adapipe/internal/train"
 )
@@ -32,6 +34,13 @@ func SaveNone() SaveSpec { return train.SaveNone() }
 // scheduling. Gradients are bit-identical across recomputation strategies
 // and partitionings (§7.5).
 func Train(rc TrainRunConfig) (TrainResult, error) { return train.Run(rc) }
+
+// TrainContext is Train with cancellation: ctx is checked between optimizer
+// steps, and a cancelled run returns the losses of the steps that completed
+// alongside ctx.Err(). Gradients of completed steps are unaffected.
+func TrainContext(ctx context.Context, rc TrainRunConfig) (TrainResult, error) {
+	return train.RunContext(ctx, rc)
+}
 
 // TrainDataParallel runs d synchronized pipeline replicas with gradient
 // all-reduce (the DP dimension of 3D parallelism) and returns per-step mean
