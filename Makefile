@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin/adapipevet
 
-.PHONY: all build lint test race bench observe chaos serve-smoke ci clean
+.PHONY: all build lint vet vet-selftest vet-sarif test race bench observe chaos serve-smoke ci clean
 
 all: build
 
@@ -14,12 +14,31 @@ $(BIN): FORCE
 .PHONY: FORCE
 FORCE:
 
-# lint runs go vet plus the repo's own analyzer suite (maporder, floatcmp,
-# pipesync, errcheckcmd) over every package, both standalone and through the
-# go vet -vettool driver.
-lint: $(BIN)
+# vet runs go vet plus the repo's own eight-analyzer suite (maporder,
+# floatcmp, pipesync, errcheckcmd, ctxprop, lockguard, detrand, ignoreaudit)
+# over every package, in both driver modes: standalone (adapipevet loads and
+# type-checks the module itself) and as a go vet -vettool (the go command
+# hands it one compilation unit at a time with gc export data). Both must be
+# clean — the modes share the analyzers but not the loader, so passing both
+# proves the suite is loader-independent.
+vet: $(BIN)
 	$(GO) vet ./...
 	./$(BIN) ./...
+	$(GO) vet -vettool=$(abspath $(BIN)) ./...
+
+# lint is the historical alias for vet.
+lint: vet
+
+# vet-selftest runs the suite over its own implementation: the analyzers, the
+# SARIF/JSON reporters and the drivers must satisfy every invariant they
+# enforce (zero un-ignored diagnostics, zero stale ignores).
+vet-selftest: $(BIN)
+	./$(BIN) ./internal/analysis/... ./cmd/adapipevet/...
+
+# vet-sarif writes the byte-deterministic SARIF 2.1.0 report CI uploads to
+# code scanning. The exit status still gates (non-zero on findings).
+vet-sarif: $(BIN)
+	./$(BIN) -sarif -o adapipevet.sarif ./...
 
 test:
 	$(GO) test ./...
@@ -66,7 +85,7 @@ serve-smoke:
 	$(GO) run ./cmd/servesmoke -daemon bin/adapiped
 
 # ci is the full gate the GitHub Actions workflow runs.
-ci: build lint test race bench observe chaos serve-smoke
+ci: build vet vet-selftest test race bench observe chaos serve-smoke
 
 clean:
-	rm -rf bin observe-out BENCH_planner.json
+	rm -rf bin observe-out BENCH_planner.json adapipevet.sarif

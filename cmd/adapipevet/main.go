@@ -1,15 +1,24 @@
-// Command adapipevet runs the AdaPipe lint suite (internal/analysis): four
-// analyzers enforcing planner determinism (maporder, floatcmp), pipeline
-// concurrency hygiene (pipesync) and error handling in the binaries
-// (errcheckcmd).
+// Command adapipevet runs the AdaPipe lint suite (internal/analysis): eight
+// analyzers enforcing planner determinism (maporder, floatcmp, detrand),
+// pipeline and planner concurrency hygiene (pipesync, lockguard), context
+// propagation (ctxprop), error handling in the binaries (errcheckcmd), and
+// suppression hygiene (ignoreaudit).
 //
 // Standalone (multichecker-style) usage — loads packages itself:
 //
 //	adapipevet ./...
 //	adapipevet -analyzers maporder,floatcmp adapipe/internal/core
+//	adapipevet -sarif -o adapipevet.sarif ./...
+//	adapipevet -json ./...
+//
+// -sarif emits a SARIF 2.1.0 report (file URIs relative to the working
+// directory, for CI code-scanning upload); -json emits the flat machine
+// format. Both are byte-deterministic for a given tree. -o redirects either
+// report to a file; diagnostics still gate the exit status.
 //
 // Vet-tool (unitchecker-style) usage — driven by the go command, one
-// type-checked compilation unit per invocation:
+// type-checked compilation unit per invocation (here -json means the go
+// command's unitchecker wire format, not the machine format):
 //
 //	go vet -vettool=$(which adapipevet) ./...
 //
@@ -38,7 +47,7 @@ func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
 		case "-V=full", "-V":
-			fmt.Printf("%s version adapipevet-1.0\n", progName())
+			fmt.Printf("%s version %s-%s\n", progName(), analysis.ToolName, analysis.ToolVersion)
 			return
 		case "-flags":
 			fmt.Println("[]")
@@ -47,7 +56,9 @@ func main() {
 	}
 
 	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (unitchecker wire format)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (standalone) or the unitchecker wire format (vet-tool)")
+	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 report (standalone mode only)")
+	outPath := flag.String("o", "", "write the -json/-sarif report to this file instead of stdout")
 	tests := flag.Bool("tests", true, "also analyze in-package _test.go files (standalone mode)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: adapipevet [flags] [packages]\n       adapipevet <unit>.cfg  (as go vet -vettool)\n")
@@ -63,17 +74,30 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *sarifOut && *jsonOut {
+		fatal(fmt.Errorf("-sarif and -json are mutually exclusive"))
+	}
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		if *sarifOut {
+			fatal(fmt.Errorf("-sarif is a standalone-mode flag; the go vet driver consumes the wire format"))
+		}
 		os.Exit(unitcheck(args[0], analyzers, *jsonOut))
 	}
-	os.Exit(standalone(args, analyzers, *jsonOut, *tests))
+	os.Exit(standalone(args, analyzers, reportMode{json: *jsonOut, sarif: *sarifOut, path: *outPath}, *tests))
+}
+
+// reportMode selects the standalone output format and destination.
+type reportMode struct {
+	json  bool
+	sarif bool
+	path  string
 }
 
 // standalone loads the named package patterns (default ./...) and runs the
 // suite over all of them in one process.
-func standalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut, tests bool) int {
+func standalone(patterns []string, analyzers []*analysis.Analyzer, mode reportMode, tests bool) int {
 	pkgs, err := analysis.Load(patterns, analysis.LoadOptions{Tests: tests})
 	if err != nil {
 		fatal(err)
@@ -81,12 +105,38 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut, test
 	if len(pkgs) == 0 {
 		fatal(fmt.Errorf("no packages matched %v", patterns))
 	}
-	var fset *token.FileSet
-	if len(pkgs) > 0 {
-		fset = pkgs[0].Fset
-	}
+	fset := pkgs[0].Fset
 	diags := analysis.Run(pkgs, analyzers)
-	emit(fset, diags, jsonOut)
+
+	out := io.Writer(os.Stdout)
+	closeOut := func() error { return nil }
+	if mode.path != "" {
+		f, err := os.Create(mode.path)
+		if err != nil {
+			fatal(err)
+		}
+		out = f
+		closeOut = f.Close
+	}
+	// Report file URIs are relative to the working directory — CI runs from
+	// the module root, so uploads carry repo-relative paths.
+	root, _ := os.Getwd()
+	switch {
+	case mode.sarif:
+		err = analysis.WriteSARIF(out, fset, analyzers, diags, root)
+	case mode.json:
+		err = analysis.WriteJSON(out, fset, diags, root)
+	default:
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := closeOut(); err != nil {
+		fatal(err)
+	}
 	if len(diags) > 0 {
 		return 2
 	}
@@ -200,8 +250,8 @@ func (e *exportDataImporter) ImportFrom(path, dir string, mode types.ImportMode)
 	return e.base.ImportFrom(path, dir, mode)
 }
 
-// emit prints diagnostics: file:line:col: analyzer: message to stderr, or
-// the unitchecker JSON wire format to stdout.
+// emit prints diagnostics for the vet-tool mode: file:line:col: analyzer:
+// message to stderr, or the unitchecker JSON wire format to stdout.
 func emit(fset *token.FileSet, diags []analysis.Diagnostic, jsonOut bool) {
 	if !jsonOut {
 		for _, d := range diags {

@@ -8,8 +8,9 @@
 // The suite exists because the planner's two-level DP must be bit-for-bit
 // deterministic (tests assert exact plan equality, and serialized plans are
 // diffed across runs) and because the 1F1B executor is multi-goroutine
-// channel code where races corrupt schedule comparisons silently. Four
-// analyzers enforce the invariants:
+// channel code where races corrupt schedule comparisons silently. Eight
+// analyzers enforce the invariants — four syntactic (PR 1) and four
+// dataflow-aware (v2):
 //
 //   - maporder:    order-dependent iteration over Go maps in packages whose
 //     output must be reproducible (planner, serializer, trace, ...).
@@ -19,11 +20,25 @@
 //     variable capture, WaitGroup.Add inside the spawned goroutine, and
 //     channel sends while holding a mutex.
 //   - errcheckcmd: dropped error returns in cmd/ and examples/.
+//   - ctxprop:     dropped context propagation in the search/serving
+//     libraries — context.Background()/TODO() where a ctx is in scope,
+//     calls bypassing an existing Context-variant, blocking loops that
+//     never check ctx.
+//   - lockguard:   reads/writes of fields annotated `// guarded by <mu>`
+//     from methods that do not hold the named mutex on a dominating path.
+//   - detrand:     nondeterminism sources (time.Now/Since, global
+//     math/rand, %p formatting, unsorted map iteration) in the plan- and
+//     hash-producing packages.
+//   - ignoreaudit: suppression hygiene — stale ignore directives, unknown
+//     analyzer names, missing reasons.
 //
 // A finding can be suppressed with a trailing or preceding line comment of
 // the form:
 //
 //	//adapipevet:ignore <analyzer-name> <reason>
+//
+// The reason is mandatory (ignoreaudit enforces it), and a directive that no
+// longer suppresses anything is itself a finding.
 package analysis
 
 import (
@@ -79,6 +94,11 @@ type Pass struct {
 
 	diags   []Diagnostic
 	ignores map[int]map[string]bool // file-line -> analyzer name (or "") -> ignored
+
+	// noIgnore disables the suppression directives; the ignoreaudit analyzer
+	// sets it on the sub-passes it re-runs to learn what a directive would
+	// have suppressed.
+	noIgnore bool
 }
 
 // Reportf records a diagnostic at pos unless an ignore directive covers it.
@@ -101,6 +121,9 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // ignored reports whether an //adapipevet:ignore directive on the finding's
 // line, or on the line directly above it, names this analyzer.
 func (p *Pass) ignored(pos token.Pos) bool {
+	if p.noIgnore {
+		return false
+	}
 	if p.ignores == nil {
 		p.ignores = map[int]map[string]bool{}
 		for _, f := range p.Files {
@@ -208,9 +231,15 @@ func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
 	})
 }
 
-// All returns the full lint suite in stable order.
+// All returns the full lint suite in stable order. The order is part of the
+// reporting contract: diagnostics tie-break on analyzer name, SARIF rule
+// indices follow this slice, and TestAllOrderPinned asserts it — append new
+// analyzers at the end.
 func All() []*Analyzer {
-	return []*Analyzer{MapOrder, FloatCmp, PipeSync, ErrCheckCmd}
+	return []*Analyzer{
+		MapOrder, FloatCmp, PipeSync, ErrCheckCmd,
+		CtxProp, LockGuard, DetRand, IgnoreAudit,
+	}
 }
 
 // ByName returns the named analyzers, or an error naming the unknown one.

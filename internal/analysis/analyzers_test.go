@@ -13,6 +13,29 @@ func TestMapOrderFixture(t *testing.T)    { RunFixture(t, FixtureDir("maporder")
 func TestFloatCmpFixture(t *testing.T)    { RunFixture(t, FixtureDir("floatcmp"), FloatCmp) }
 func TestPipeSyncFixture(t *testing.T)    { RunFixture(t, FixtureDir("pipesync"), PipeSync) }
 func TestErrCheckCmdFixture(t *testing.T) { RunFixture(t, FixtureDir("errcheckcmd"), ErrCheckCmd) }
+func TestCtxPropFixture(t *testing.T)     { RunFixture(t, FixtureDir("ctxprop"), CtxProp) }
+func TestLockGuardFixture(t *testing.T)   { RunFixture(t, FixtureDir("lockguard"), LockGuard) }
+func TestDetRandFixture(t *testing.T)     { RunFixture(t, FixtureDir("detrand"), DetRand) }
+func TestIgnoreAuditFixture(t *testing.T) { RunFixture(t, FixtureDir("ignoreaudit"), IgnoreAudit) }
+
+// TestAllOrderPinned freezes the suite order: SARIF rule indices and the
+// diagnostic tie-break both follow All(), so reordering would churn every
+// golden report. New analyzers go at the end.
+func TestAllOrderPinned(t *testing.T) {
+	want := []string{
+		"maporder", "floatcmp", "pipesync", "errcheckcmd",
+		"ctxprop", "lockguard", "detrand", "ignoreaudit",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s (order is part of the reporting contract)", i, a.Name, want[i])
+		}
+	}
+}
 
 // TestScopes pins the package scoping: each analyzer must cover the
 // packages its invariant lives in and stay out of unrelated ones.
@@ -31,6 +54,10 @@ func TestScopes(t *testing.T) {
 			[]string{"adapipe/internal/core", "adapipe"}, "pipesync"},
 		{ErrCheckCmd, []string{"adapipe/cmd/adapipe", "adapipe/cmd/experiments", "adapipe/examples/quickstart"},
 			[]string{"adapipe", "adapipe/internal/core"}, "errcheckcmd"},
+		{CtxProp, []string{"adapipe/internal/core", "adapipe/internal/pool", "adapipe/internal/serve", "adapipe/internal/baseline", "adapipe/internal/train"},
+			[]string{"adapipe", "adapipe/internal/sim", "adapipe/cmd/adapipe"}, "ctxprop"},
+		{DetRand, []string{"adapipe/internal/core", "adapipe/internal/request", "adapipe/internal/trace", "adapipe/internal/profile"},
+			[]string{"adapipe", "adapipe/internal/train", "adapipe/cmd/adapipe"}, "detrand"},
 	}
 	for _, tc := range cases {
 		for _, p := range tc.in {
@@ -101,11 +128,36 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	}
 }
 
-func moduleRoot(t *testing.T) string {
-	t.Helper()
+// TestScopesUniversal pins the analyzers that deliberately apply everywhere.
+func TestScopesUniversal(t *testing.T) {
+	for _, a := range []*Analyzer{LockGuard, IgnoreAudit} {
+		if a.Applies != nil {
+			t.Errorf("%s: expected a nil Applies (annotations and directives can appear in any package)", a.Name)
+		}
+	}
+}
+
+// BenchmarkAdapipevet measures a full-repo suite run — load, type-check, and
+// all eight analyzers over every package — so CI logs track the lint gate's
+// wall cost as the suite and the tree grow.
+func BenchmarkAdapipevet(b *testing.B) {
+	root := moduleRoot(b)
+	for i := 0; i < b.N; i++ {
+		pkgs, err := Load([]string{"adapipe/..."}, LoadOptions{Dir: root, Tests: true})
+		if err != nil {
+			b.Fatalf("loading module: %v", err)
+		}
+		if diags := Run(pkgs, All()); len(diags) != 0 {
+			b.Fatalf("suite not clean: %d diagnostics", len(diags))
+		}
+	}
+}
+
+func moduleRoot(tb testing.TB) string {
+	tb.Helper()
 	abs, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
-		t.Fatal(err)
+		tb.Fatal(err)
 	}
 	return abs
 }

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// DetRand polices the determinism surface of the plan- and hash-producing
+// packages: the planner's exact-equality tests, the canonical request JSON
+// behind the daemon's cache identity, and the serialized Plan bytes the
+// response cache replays all require that no nondeterministic value can leak
+// into an output or a hash. Four sources are flagged:
+//
+//  1. time.Now / time.Since — wall-clock readings differ between identical
+//     runs. The search-effort wall counters are the one deliberate use; they
+//     are excluded from plan serialization and carry ignore directives
+//     saying so.
+//  2. math/rand package-level functions — the global source is seeded
+//     nondeterministically; derive from rand.New(rand.NewSource(seed)).
+//  3. pointer formatting (%p) in fmt format strings — addresses differ per
+//     run and would poison any serialized or hashed output.
+//  4. order-dependent iteration over a map (the maporder rule), applied only
+//     where maporder itself is out of scope (the request package's canonical
+//     JSON path), so one defect never double-reports.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "flags nondeterminism sources (time.Now/Since, global math/rand, %p " +
+		"formatting, unsorted map iteration feeding output) in the plan- and " +
+		"hash-producing packages",
+	Applies: pathMatcher(
+		nil,
+		"adapipe/internal/core",
+		"adapipe/internal/partition",
+		"adapipe/internal/recompute",
+		"adapipe/internal/schedule",
+		"adapipe/internal/profile",
+		"adapipe/internal/request",
+		"adapipe/internal/trace",
+		"detrand", // fixture packages
+	),
+	SkipTests: true,
+	Run:       runDetRand,
+}
+
+// ptrVerbRx matches an unescaped %p verb (flags and width allowed). %% pairs
+// are stripped before matching.
+var ptrVerbRx = regexp.MustCompile(`%[#+\-0 ]*[0-9.]*p`)
+
+func runDetRand(pass *Pass) error {
+	checkMaps := !MapOrder.Applies(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				checkDetRandCall(pass, st)
+			case *ast.RangeStmt:
+				if !checkMaps {
+					return true
+				}
+				t := pass.TypeOf(st.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if orderInsensitiveBody(pass, st) {
+					return true
+				}
+				pass.Reportf(st.Pos(),
+					"range over map %s has an order-dependent body in a hash/serialization path; "+
+						"sort the keys first so canonical bytes stay canonical",
+					exprString(pass.Fset, st.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetRandCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock in a determinism-critical package; "+
+					"clock values must never reach plans, canonical JSON or hashes",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors are fine — a seeded *rand.Rand is deterministic.
+		// Methods on *rand.Rand have a receiver and are fine too; only the
+		// package-level functions draw from the nondeterministically seeded
+		// global source.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s.%s draws from the global math/rand source, which is seeded "+
+				"nondeterministically; use rand.New(rand.NewSource(seed))",
+			fn.Pkg().Name(), fn.Name())
+	case "fmt":
+		if !strings.HasSuffix(fn.Name(), "f") {
+			return
+		}
+		// The format string is the first argument, or the second for the
+		// writer-taking variants (Fprintf and friends).
+		idx := 0
+		if strings.HasPrefix(fn.Name(), "F") || fn.Name() == "Appendf" {
+			idx = 1
+		}
+		if len(call.Args) <= idx {
+			return
+		}
+		lit, ok := call.Args[idx].(*ast.BasicLit)
+		if !ok {
+			return
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return
+		}
+		if ptrVerbRx.MatchString(strings.ReplaceAll(format, "%%", "")) {
+			pass.Reportf(call.Pos(),
+				"%%p formats a pointer address, which differs between identical runs; "+
+					"format a stable identifier instead")
+		}
+	}
+}

@@ -47,7 +47,14 @@ func RunFixture(t *testing.T, dir string, a *Analyzer) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				// Both comment forms carry wants. The block form exists for
+				// lines already ending in a line comment — notably ignore
+				// directives, whose own diagnostics (ignoreaudit's) land on
+				// the directive line itself:
+				//   /* want `stale ignore` */ //adapipevet:ignore ...
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				text = strings.TrimSpace(text)
 				if !strings.HasPrefix(text, "want ") {
 					continue
 				}

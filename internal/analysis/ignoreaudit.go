@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// IgnoreAudit keeps the suppression layer honest: every
+// //adapipevet:ignore directive must (a) name a real analyzer, (b) carry a
+// reason, and (c) still suppress something. A directive goes stale when the
+// code it excused is fixed or deleted while the comment lingers — from then
+// on it silently masks the next genuine finding on that line. The audit
+// re-runs every other analyzer over the package with suppression disabled
+// and flags directives whose covered lines (the directive's own line and the
+// one below it, matching the suppression rule) no longer produce any
+// diagnostic from the named analyzer.
+//
+// Staleness respects analyzer scoping: a directive naming an analyzer that
+// does not apply to the package suppresses nothing and is therefore stale.
+// Directives naming "ignoreaudit" itself are not audited (a suppression of
+// the auditor is judged by the normal ignore mechanism, not recursively).
+var IgnoreAudit = &Analyzer{
+	Name: "ignoreaudit",
+	Doc: "flags //adapipevet:ignore directives that are stale (suppress no " +
+		"diagnostic), name an unknown analyzer, or carry no reason",
+}
+
+// Run is attached in init: runIgnoreAudit re-runs the whole suite via All(),
+// which contains IgnoreAudit itself — a direct initializer would be an
+// initialization cycle.
+func init() { IgnoreAudit.Run = runIgnoreAudit }
+
+// ignoreDirective is one parsed //adapipevet:ignore comment.
+type ignoreDirective struct {
+	comment *ast.Comment
+	name    string // named analyzer; "" or "all" covers every analyzer
+	reason  string
+}
+
+func runIgnoreAudit(pass *Pass) error {
+	var directives []ignoreDirective
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "adapipevet:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "adapipevet:ignore"))
+				name, reason := rest, ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				directives = append(directives, ignoreDirective{comment: c, name: name, reason: reason})
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return nil
+	}
+
+	// Audit findings are suppressible only by a directive that names
+	// "ignoreaudit" explicitly. Routing them through the normal ignore
+	// mechanism would let a stale wildcard directive suppress its own
+	// staleness report.
+	type lineKey struct {
+		file string
+		line int
+	}
+	selfIgnored := map[lineKey]bool{}
+	for _, d := range directives {
+		if d.name != IgnoreAudit.Name {
+			continue
+		}
+		p := pass.Fset.Position(d.comment.Pos())
+		selfIgnored[lineKey{p.Filename, p.Line}] = true
+		selfIgnored[lineKey{p.Filename, p.Line + 1}] = true
+	}
+	report := func(c *ast.Comment, format string, args ...any) {
+		p := pass.Fset.Position(c.Pos())
+		if selfIgnored[lineKey{p.Filename, p.Line}] {
+			return
+		}
+		pass.diags = append(pass.diags, Diagnostic{
+			Pos:      c.Pos(),
+			Analyzer: pass.Analyzer.Name,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	known := map[string]bool{}
+	failed := map[string]bool{}
+	siblings := make([]*Analyzer, 0, len(All()))
+	for _, a := range All() {
+		known[a.Name] = true
+		if a.Name != IgnoreAudit.Name {
+			siblings = append(siblings, a)
+		}
+	}
+
+	// Re-run each in-scope sibling with suppression disabled and index the
+	// would-be diagnostics by (file, line).
+	fired := map[string]map[lineKey]bool{}
+	for _, a := range siblings {
+		if a.Applies != nil && !a.Applies(pass.Pkg.Path()) {
+			continue
+		}
+		files := pass.Files
+		if a.SkipTests {
+			files = nil
+			for _, f := range pass.Files {
+				name := pass.Fset.Position(f.Pos()).Filename
+				if !strings.HasSuffix(name, "_test.go") {
+					files = append(files, f)
+				}
+			}
+		}
+		sub := &Pass{
+			Analyzer:  a,
+			Fset:      pass.Fset,
+			Files:     files,
+			Pkg:       pass.Pkg,
+			TypesInfo: pass.TypesInfo,
+			noIgnore:  true,
+		}
+		if err := a.Run(sub); err != nil {
+			// A sibling that cannot run proves nothing about staleness; skip
+			// its directives rather than flag them wrongly.
+			failed[a.Name] = true
+			continue
+		}
+		byLine := fired[a.Name]
+		if byLine == nil {
+			byLine = map[lineKey]bool{}
+			fired[a.Name] = byLine
+		}
+		for _, d := range sub.diags {
+			p := pass.Fset.Position(d.Pos)
+			byLine[lineKey{p.Filename, p.Line}] = true
+		}
+	}
+
+	for _, d := range directives {
+		if d.name == IgnoreAudit.Name {
+			continue
+		}
+		wildcard := d.name == "" || d.name == "all"
+		if !wildcard && !known[d.name] {
+			report(d.comment,
+				"ignore directive names unknown analyzer %q; known analyzers: %s",
+				d.name, analyzerNames())
+			continue
+		}
+		if !wildcard && failed[d.name] {
+			continue // cannot judge staleness when the analyzer errored
+		}
+		if wildcard && len(failed) > 0 {
+			continue
+		}
+		if !wildcard && d.reason == "" {
+			report(d.comment,
+				"ignore directive for %s carries no reason; say why the flagged pattern is deliberate",
+				d.name)
+		}
+		pos := pass.Fset.Position(d.comment.Pos())
+		covered := false
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			k := lineKey{pos.Filename, line}
+			if wildcard {
+				for _, byLine := range fired {
+					if byLine[k] {
+						covered = true
+					}
+				}
+			} else if fired[d.name][k] {
+				covered = true
+			}
+		}
+		if !covered {
+			what := d.name
+			if wildcard {
+				what = "any analyzer"
+			}
+			report(d.comment,
+				"stale ignore directive: %s reports nothing on the covered lines anymore; "+
+					"delete the directive so it cannot mask a future finding", what)
+		}
+	}
+	return nil
+}
+
+// analyzerNames renders the suite's analyzer names for diagnostics.
+func analyzerNames() string {
+	names := make([]string, 0, len(All()))
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

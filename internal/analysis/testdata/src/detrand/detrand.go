@@ -1,0 +1,104 @@
+// Package detrand is the analysistest fixture for the detrand analyzer.
+package detrand
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock — flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// Elapsed uses Since — flagged.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Deadline uses Until — flagged.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until reads the wall clock`
+}
+
+// Duration arithmetic without the clock — OK.
+func Budget(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// EffortCounter is the documented escape hatch — suppressed.
+func EffortCounter() time.Time {
+	//adapipevet:ignore detrand wall-clock effort counter, excluded from plan serialization
+	return time.Now()
+}
+
+// GlobalRand draws from the global source — flagged.
+func GlobalRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the global math/rand source`
+}
+
+// GlobalShuffle too — flagged.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the global math/rand source`
+}
+
+// SeededRand derives every draw from an explicit seed — OK.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// PointerFormat leaks an address — flagged.
+func PointerFormat(v *int) string {
+	return fmt.Sprintf("ptr=%p", v) // want `%p formats a pointer address`
+}
+
+// FprintfPointer: the format string is the second argument — flagged.
+func FprintfPointer(w io.Writer, v *int) {
+	fmt.Fprintf(w, "at %p", v) // want `%p formats a pointer address`
+}
+
+// EscapedPercent is not a pointer verb — OK.
+func EscapedPercent(n int) string {
+	return fmt.Sprintf("100%%plus %d", n)
+}
+
+// StableFormat has no pointer verbs — OK.
+func StableFormat(name string, n int) string {
+	return fmt.Sprintf("%s=%d", name, n)
+}
+
+// UnsortedEmit ranges a map straight into an output slice — flagged.
+func UnsortedEmit(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map m has an order-dependent body`
+		out = append(out, v)
+	}
+	return out
+}
+
+// SortedEmit collects the keys, sorts, then walks — OK.
+func SortedEmit(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Accumulate is order-insensitive (commutative fold) — OK.
+func Accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+// Package ignoreaudit is the analysistest fixture for the ignoreaudit
+// analyzer. Want expectations for directive findings use the block-comment
+// form (/* want ... */) because the directive itself occupies the line
+// comment, and the audit reports at the directive's own position.
+package ignoreaudit
+
+import "sync"
+
+// Box carries a lockguard-annotated field so directives in this fixture have
+// a real sibling diagnostic to suppress (lockguard applies to every package).
+type Box struct {
+	mu sync.Mutex
+	// n is the boxed value.
+	// guarded by mu
+	n int
+}
+
+// LiveIgnore suppresses a genuine lockguard finding — not stale, no report.
+func (b *Box) LiveIgnore() int {
+	//adapipevet:ignore lockguard deliberately racy snapshot for the fixture
+	return b.n
+}
+
+// MissingReason suppresses a genuine finding but gives no reason — flagged
+// for the missing reason only, not for staleness.
+func (b *Box) MissingReason() int {
+	/* want `carries no reason` */ //adapipevet:ignore lockguard
+	return b.n
+}
+
+// StaleIgnore excuses nothing: the access below holds the lock — flagged.
+func (b *Box) StaleIgnore() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	/* want `stale ignore directive: lockguard reports nothing` */ //adapipevet:ignore lockguard left over from a fixed race
+	return b.n
+}
+
+// UnknownAnalyzer names a rule that does not exist — flagged.
+func (b *Box) UnknownAnalyzer() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	/* want `unknown analyzer "racecheck"` */ //adapipevet:ignore racecheck the suite renamed this rule
+	return b.n
+}
+
+// WildcardStale is a blanket directive that suppresses nothing anymore; its
+// own staleness report must not be self-suppressed — flagged.
+func (b *Box) WildcardStale() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	/* want `stale ignore directive: any analyzer reports nothing` */ //adapipevet:ignore all left over blanket suppression
+	return b.n
+}
+
+// OutOfScope names an analyzer that does not apply to this package, so the
+// directive suppresses nothing by construction — flagged as stale.
+func OutOfScope() float64 {
+	/* want `stale ignore directive: floatcmp reports nothing` */ //adapipevet:ignore floatcmp epsilon compare is deliberate here
+	return 1.5
+}
+
+// SelfDirective: suppressions of the auditor itself are not audited.
+func (b *Box) SelfDirective() int {
+	//adapipevet:ignore ignoreaudit audited by hand in this fixture
+	return b.n
+}

@@ -238,20 +238,25 @@ type Planner struct {
 	// immutable after construction. Concurrent Plan/CostFor calls on one
 	// planner are safe (TestPlannerConcurrent); the heavy solves run
 	// outside the lock in the prefill workers.
-	mu    sync.Mutex
+	mu sync.Mutex
+	// cache memoizes per-range stage costs across Plan calls.
+	// guarded by mu
 	cache map[costKey]stageCost
 	// scale holds per-stage compute-cost multipliers (nil = all 1), set by
 	// SetStageScale when a live run observes a degraded stage. Applied on
 	// top of the cache, which stores nominal costs only. The slice is
 	// replaced wholesale, never mutated in place, so a reference read under
 	// mu stays consistent after unlock.
+	// guarded by mu
 	scale []float64
-	// solver is the serial-path knapsack scratch arena, used only under mu;
-	// prefill workers carry their own.
+	// solver is the serial-path knapsack scratch arena; prefill workers
+	// carry their own.
+	// guarded by mu
 	solver *recompute.Solver
 	// Stats accumulates search-effort counters across Plan calls (the cost
 	// cache persists, so the counters do too); each Plan carries a snapshot.
 	// Read it only after all concurrent Plan calls have returned.
+	// guarded by mu
 	Stats SearchStats
 }
 
@@ -520,7 +525,7 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	searchStart := time.Now()
+	searchStart := time.Now() //adapipevet:ignore detrand wall-clock effort counter; SearchStats never enters plan serialization
 	L := len(pl.layers)
 	p := pl.strat.PP
 	workers := pl.workerCount()
@@ -621,7 +626,7 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 	pl.Stats.PartitionCells += cellsAdd
 	pl.Stats.FrontierStates += frontierAdd
 	pl.Stats.Workers = workers
-	pl.Stats.SearchWall += time.Since(searchStart)
+	pl.Stats.SearchWall += time.Since(searchStart) //adapipevet:ignore detrand wall-clock effort counter; SearchStats never enters plan serialization
 	plan.Search = pl.Stats
 	pl.mu.Unlock()
 	return plan, nil

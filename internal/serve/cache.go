@@ -12,10 +12,16 @@ import (
 // schedulers) is exactly the amortization the §5.3 caches buy inside one
 // search, lifted across requests.
 type lruCache struct {
-	mu        sync.Mutex
-	max       int
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
+	mu  sync.Mutex
+	max int
+	// ll orders entries, front = most recently used.
+	// guarded by mu
+	ll *list.List
+	// items indexes entries by request key.
+	// guarded by mu
+	items map[string]*list.Element
+	// evictions counts capacity evictions.
+	// guarded by mu
 	evictions int64
 }
 

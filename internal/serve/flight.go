@@ -26,7 +26,9 @@ type flightCall struct {
 // before waiters are released, so a request arriving after completion starts
 // fresh (by then the response cache answers it).
 type flightGroup struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// calls holds the in-flight computation per key.
+	// guarded by mu
 	calls map[string]*flightCall
 }
 

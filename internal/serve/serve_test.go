@@ -360,10 +360,17 @@ func TestAdmissionGateRejectsWhenSaturated(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	s.planFn = func(ctx context.Context, req request.PlanRequest) (*core.Plan, error) {
+		// Hold the slot until the test releases it — NOT until ctx expires.
+		// The holder's deadline always fires just before the queued request's
+		// (it was admitted first), so releasing on ctx.Done would free the
+		// slot inside the second request's admission window and let it race
+		// between admission and rejection. Blocking on release alone keeps
+		// the slot occupied for the whole window, making the 503
+		// deterministic. The timeout is a hang backstop only.
 		close(entered)
 		select {
 		case <-release:
-		case <-ctx.Done():
+		case <-time.After(10 * time.Second):
 		}
 		return nil, context.DeadlineExceeded
 	}
