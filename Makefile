@@ -79,13 +79,16 @@ chaos:
 # serve-smoke exercises the adapiped daemon end to end from outside the
 # process: build it, bind an ephemeral port, check /healthz, plan the same
 # request twice asserting (via /metrics) that the repeat is a byte-identical
-# cache hit with no extra search work, then SIGTERM and require a clean drain.
+# cache hit with no extra search work, fetch the cold request's trace twice
+# asserting byte-identical Chrome JSON whose phase spans cover >= 95% of the
+# request wall, then SIGTERM and require a clean drain. The cold trace lands
+# in servesmoke-trace.json, which CI uploads as an artifact.
 serve-smoke:
 	$(GO) build -o bin/adapiped ./cmd/adapiped
-	$(GO) run ./cmd/servesmoke -daemon bin/adapiped
+	$(GO) run ./cmd/servesmoke -daemon bin/adapiped -trace-out servesmoke-trace.json
 
 # ci is the full gate the GitHub Actions workflow runs.
 ci: build vet vet-selftest test race bench observe chaos serve-smoke
 
 clean:
-	rm -rf bin observe-out BENCH_planner.json adapipevet.sarif
+	rm -rf bin observe-out BENCH_planner.json adapipevet.sarif servesmoke-trace.json

@@ -7,10 +7,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/plan      plan a request           (cached, coalesced)
-//	POST /v1/simulate  plan + simulate a request
-//	GET  /healthz      liveness probe
-//	GET  /metrics      Prometheus text exposition
+//	POST /v1/plan       plan a request           (cached, coalesced, traced)
+//	POST /v1/simulate   plan + simulate a request
+//	GET  /v1/trace/{id} Chrome trace JSON of a recent request
+//	GET  /healthz       liveness probe
+//	GET  /metrics       Prometheus text exposition (counters + histograms)
 //
 // Example:
 //
@@ -24,8 +25,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -37,22 +40,52 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8844", "listen address (host:port; port 0 picks a free port)")
-		addrFile = flag.String("addr-file", "", "write the actual listen address to this file once serving (for harnesses using port 0)")
-		cache    = flag.Int("cache", 256, "plan-cache bound in entries (negative disables caching)")
-		inflight = flag.Int("inflight", 2, "max concurrently executing searches (the admission gate)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request search deadline, admission queueing included")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "search worker-pool size per request")
-		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget")
+		addr      = flag.String("addr", ":8844", "listen address (host:port; port 0 picks a free port)")
+		addrFile  = flag.String("addr-file", "", "write the actual listen address to this file once serving (for harnesses using port 0)")
+		cache     = flag.Int("cache", 256, "plan-cache bound in entries (negative disables caching)")
+		inflight  = flag.Int("inflight", 2, "max concurrently executing searches (the admission gate)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request search deadline, admission queueing included")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "search worker-pool size per request")
+		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget")
+		traces    = flag.Int("trace-buffer", 64, "request-trace ring size served by /v1/trace/{id} (negative disables tracing)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
+		quiet     = flag.Bool("quiet", false, "disable per-request structured logging")
 	)
 	flag.Parse()
 
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	srv := serve.New(serve.Config{
 		CacheSize:      *cache,
 		MaxInFlight:    *inflight,
 		RequestTimeout: *timeout,
 		Workers:        *workers,
+		TraceBuffer:    *traces,
+		Logger:         logger,
 	})
+	if *debugAddr != "" {
+		// pprof rides its own listener and mux: the profiling surface stays
+		// separable from the service port, and the default ServeMux (which
+		// importing net/http/pprof pollutes) is never served.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("debug listener: %v", err)
+		}
+		fmt.Printf("adapiped: pprof on %s\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "adapiped: pprof server: %v\n", err)
+			}
+		}()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatalf("%v", err)

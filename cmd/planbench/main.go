@@ -110,6 +110,7 @@ func main() {
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
 		Workers:         *workers,
 		SpeedupParallel: float64(serial.NsPerOp()) / float64(par.NsPerOp()),
+		ReplanNsPerOp:   replan.NsPerOp(),
 		KnapsackRuns:    pl.Stats.KnapsackRuns,
 		CacheHitRate:    pl.Stats.CacheHitRate(),
 		Runs: []obs.BenchRun{

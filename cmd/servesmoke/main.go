@@ -1,13 +1,17 @@
 // Command servesmoke is the end-to-end smoke test for the adapiped daemon.
 // It spawns a built daemon binary on an ephemeral port and walks the serving
 // contract from the outside: /healthz answers, a cold /v1/plan runs exactly
-// one search, the identical repeat is a cache hit with a byte-identical body
-// and no extra knapsack work, and SIGTERM drains to a clean exit. Any
-// violation exits non-zero, so `make serve-smoke` is a pass/fail gate.
+// one search and returns a trace whose spans account for (nearly) all of the
+// request wall time, the trace renders byte-identically across repeated
+// /v1/trace/{id} fetches, the identical repeat plan is a cache hit with a
+// byte-identical body and no extra knapsack work, and SIGTERM drains to a
+// clean exit. Any violation exits non-zero, so `make serve-smoke` is a
+// pass/fail gate.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,19 +27,25 @@ import (
 
 const planBody = `{"model":"tiny","tiny_layers":12,"cluster":"a","method":"AdaPipe","tp":1,"pp":4,"dp":1,"seq_len":2048,"global_batch":16,"micro_batch":1}`
 
+// minCoverage is the share of the request wall time the trace's phase spans
+// must account for: a trace that loses 5%+ of a request to unexplained gaps
+// is not fit for latency work.
+const minCoverage = 0.95
+
 func main() {
 	daemon := flag.String("daemon", "bin/adapiped", "path to the built adapiped binary")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall smoke budget")
+	traceOut := flag.String("trace-out", "", "write the cold request's Chrome trace JSON to this file (CI uploads it as an artifact)")
 	flag.Parse()
 
-	if err := run(*daemon, *timeout); err != nil {
+	if err := run(*daemon, *timeout, *traceOut); err != nil {
 		fmt.Fprintf(os.Stderr, "servesmoke: FAIL: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("servesmoke: PASS")
 }
 
-func run(daemon string, budget time.Duration) error {
+func run(daemon string, budget time.Duration, traceOut string) error {
 	deadline := time.Now().Add(budget)
 	dir, err := os.MkdirTemp("", "servesmoke")
 	if err != nil {
@@ -77,13 +87,17 @@ func run(daemon string, budget time.Duration) error {
 	}
 	fmt.Printf("servesmoke: daemon healthy on %s\n", addr)
 
-	// 2. Cold plan: one search, disposition "miss".
-	cold, disp, err := postPlan(base)
+	// 2. Cold plan: one search, disposition "miss", a trace id in the
+	// X-Adapipe-Trace header.
+	cold, disp, traceID, err := postPlan(base)
 	if err != nil {
 		return err
 	}
 	if disp != "miss" {
 		return fmt.Errorf("first plan disposition = %q, want miss", disp)
+	}
+	if traceID == "" {
+		return fmt.Errorf("cold plan response carried no X-Adapipe-Trace header")
 	}
 	m, err := scrapeMetrics(base)
 	if err != nil {
@@ -98,8 +112,38 @@ func run(daemon string, budget time.Duration) error {
 	}
 	fmt.Printf("servesmoke: cold plan searched (%v knapsack runs)\n", knapsacks)
 
-	// 3. Repeat: cache hit, byte-identical body, zero extra search work.
-	warm, disp, err := postPlan(base)
+	// 3. The trace: retrievable by id, valid Chrome trace JSON,
+	// byte-identical across two renders, and its phase spans account for
+	// (nearly) the whole request.
+	trace1, err := getTrace(base, traceID)
+	if err != nil {
+		return err
+	}
+	trace2, err := getTrace(base, traceID)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(trace1, trace2) {
+		return fmt.Errorf("trace %s rendered differently across two fetches", traceID)
+	}
+	cov, err := traceCoverage(trace1)
+	if err != nil {
+		return fmt.Errorf("trace %s: %w", traceID, err)
+	}
+	if cov < minCoverage {
+		return fmt.Errorf("trace %s phases account for %.1f%% of the request wall, want >= %.0f%%\ntrace:\n%s",
+			traceID, cov*100, minCoverage*100, trace1)
+	}
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, trace1, 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", traceOut, err)
+		}
+		fmt.Printf("servesmoke: wrote %s\n", traceOut)
+	}
+	fmt.Printf("servesmoke: trace %s deterministic, %.1f%% of request wall accounted\n", traceID, cov*100)
+
+	// 4. Repeat: cache hit, byte-identical body, zero extra search work.
+	warm, disp, _, err := postPlan(base)
 	if err != nil {
 		return err
 	}
@@ -120,10 +164,13 @@ func run(daemon string, budget time.Duration) error {
 		return fmt.Errorf("repeat re-searched: searches_total = %v, want 1", m["adapipe_serve_searches_total"])
 	case m["adapipe_serve_knapsack_runs_total"] != knapsacks:
 		return fmt.Errorf("repeat did knapsack work: %v -> %v", knapsacks, m["adapipe_serve_knapsack_runs_total"])
+	case m["adapipe_serve_request_seconds_count"] < 2:
+		return fmt.Errorf("request latency histogram recorded %v observations, want >= 2",
+			m["adapipe_serve_request_seconds_count"])
 	}
 	fmt.Println("servesmoke: repeat served from cache, byte-identical, no extra search work")
 
-	// 4. Graceful shutdown on SIGTERM.
+	// 5. Graceful shutdown on SIGTERM.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("signalling daemon: %w", err)
 	}
@@ -175,20 +222,74 @@ func waitHealthy(base string, deadline time.Time) error {
 	return lastErr
 }
 
-func postPlan(base string) (body []byte, disposition string, err error) {
+func postPlan(base string) (body []byte, disposition, traceID string, err error) {
 	resp, err := http.Post(base+"/v1/plan", "application/json", strings.NewReader(planBody))
 	if err != nil {
-		return nil, "", err
+		return nil, "", "", err
 	}
 	defer func() { _ = resp.Body.Close() }()
 	body, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, "", err
+		return nil, "", "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, "", fmt.Errorf("/v1/plan status %d: %s", resp.StatusCode, body)
+		return nil, "", "", fmt.Errorf("/v1/plan status %d: %s", resp.StatusCode, body)
 	}
-	return body, resp.Header.Get("X-Adapipe-Cache"), nil
+	return body, resp.Header.Get("X-Adapipe-Cache"), resp.Header.Get("X-Adapipe-Trace"), nil
+}
+
+// getTrace fetches one stored trace as Chrome trace JSON.
+func getTrace(base, id string) ([]byte, error) {
+	resp, err := http.Get(base + "/v1/trace/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/trace/%s status %d: %s", id, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// traceCoverage parses a Chrome trace document and returns the share of the
+// root request span's duration covered by the disjoint phase spans.
+func traceCoverage(doc []byte) (float64, error) {
+	var d struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return 0, fmt.Errorf("does not parse as Chrome trace JSON: %w", err)
+	}
+	var root, phases float64
+	roots := 0
+	for _, ev := range d.TraceEvents {
+		if ev.Ph != "X" {
+			return 0, fmt.Errorf("event %q has phase %q, want complete events (X)", ev.Name, ev.Ph)
+		}
+		switch ev.Cat {
+		case "request":
+			root = ev.Dur
+			roots++
+		case "phase":
+			phases += ev.Dur
+		}
+	}
+	if roots != 1 {
+		return 0, fmt.Errorf("found %d request spans, want exactly 1", roots)
+	}
+	if root <= 0 {
+		return 0, fmt.Errorf("request span has non-positive duration %g", root)
+	}
+	return phases / root, nil
 }
 
 // scrapeMetrics parses the unlabelled adapipe_serve_* gauges out of the

@@ -12,6 +12,7 @@ import (
 	"adapipe/internal/core"
 	"adapipe/internal/hardware"
 	"adapipe/internal/model"
+	"adapipe/internal/obs"
 	"adapipe/internal/parallel"
 	"adapipe/internal/schedule"
 	"adapipe/internal/sim"
@@ -145,11 +146,15 @@ func EvaluateContext(ctx context.Context, m Method, cfg model.Config, cluster ha
 		return out
 	}
 	costs := StageCosts(plan)
+	// The discrete-event replay gets its own span next to the planner's
+	// search.* spans (an error return leaves it unrecorded).
+	sp := obs.TracerFrom(ctx).Start("baseline.simulate", obs.CatSearch, 0)
 	res, err := sim.Run(sim.Input{Sched: sched, Stages: costs})
 	if err != nil {
 		out.Err = err
 		return out
 	}
+	sp.End()
 	out.Sim = res
 	out.IterTime = res.IterTime
 	if res.MaxPeakMem() > cluster.Device.MemCapacity {

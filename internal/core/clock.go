@@ -1,0 +1,19 @@
+package core
+
+import (
+	"time"
+
+	"adapipe/internal/obs"
+)
+
+// RealClock returns the process wall clock as an injectable obs.Clock. It is
+// the one place the repository constructs a real clock: the planner's
+// SearchStats wall counters, the serving layer's request tracer and latency
+// histograms all take an injected Clock, so every timing path can run under
+// a deterministic fake in tests and the detrand analyzer has exactly one
+// reasoned suppression to audit.
+func RealClock() obs.Clock {
+	return func() time.Time {
+		return time.Now() //adapipevet:ignore detrand single real-clock construction site; all timing consumers take an injected obs.Clock
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"adapipe/internal/obs"
 	"adapipe/internal/pool"
 	"adapipe/internal/recompute"
 )
@@ -91,20 +92,28 @@ func (pl *Planner) prefillCosts(ctx context.Context, workers int) error {
 	done := make([]bool, len(tasks))
 	statsW := make([]SearchStats, workers)
 	busy := make([]time.Duration, workers)
+	tr := obs.TracerFrom(ctx)
 	solvers := make([]*recompute.Solver, workers)
 	for w := range solvers {
 		solvers[w] = recompute.NewSolver()
+		// Worker w's knapsack spans render on trace track w+1, leaving
+		// track 0 to the request-serial phases; the solver itself records
+		// them (recompute.Solver.Trace), the deepest traced level.
+		solvers[w].Trace = tr
+		solvers[w].Tid = w + 1
 	}
-	wallStart := time.Now() //adapipevet:ignore detrand wall-clock effort counter; SearchStats never enters plan serialization
+	wallStart := pl.clock()
 	runErr := pool.RunContext(ctx, workers, len(tasks), func(w, i int) {
 		t := tasks[i]
-		start := time.Now() //adapipevet:ignore detrand per-worker busy-time counter; never enters plan serialization
+		start := pl.clock()
 		results[i] = pl.solveStage(t.s, t.i, t.j, solvers[w], &statsW[w])
 		done[i] = true
-		busy[w] += time.Since(start) //adapipevet:ignore detrand per-worker busy-time counter; never enters plan serialization
+		busy[w] += pl.clock().Sub(start)
 	})
-	wall := time.Since(wallStart) //adapipevet:ignore detrand wall-clock effort counter; SearchStats never enters plan serialization
+	wall := pl.clock().Sub(wallStart)
 
+	spMerge := tr.Start("search.merge", obs.CatSearch, 0)
+	defer spMerge.End()
 	pl.mu.Lock()
 	merged := 0
 	for i, t := range tasks {

@@ -11,11 +11,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"adapipe/internal/hardware"
 	"adapipe/internal/memory"
 	"adapipe/internal/model"
+	"adapipe/internal/obs"
 	"adapipe/internal/parallel"
 	"adapipe/internal/partition"
 	"adapipe/internal/profile"
@@ -233,6 +233,10 @@ type Planner struct {
 	prof   *profile.Profile
 	layers []model.Layer
 	n      int
+	// clock times the search's wall counters (SearchWall, ParallelWall,
+	// per-worker busy time). RealClock() at construction; SetClock swaps in
+	// a fake for deterministic tests. Immutable once planning starts.
+	clock obs.Clock
 
 	// mu guards cache, Stats, scale and solver. Everything above it is
 	// immutable after construction. Concurrent Plan/CostFor calls on one
@@ -319,9 +323,19 @@ func NewPlannerWithProfile(cfg model.Config, cluster hardware.Cluster, strat par
 		prof:    prof,
 		layers:  cfg.LayerSequence(),
 		n:       n,
+		clock:   RealClock(),
 		cache:   make(map[costKey]stageCost),
 		solver:  recompute.NewSolver(),
 	}, nil
+}
+
+// SetClock replaces the planner's wall-clock source so tests can drive the
+// SearchStats wall counters deterministically. Call it before the first
+// Plan/PlanContext; a nil clock is ignored.
+func (pl *Planner) SetClock(c obs.Clock) {
+	if c != nil {
+		pl.clock = c
+	}
 }
 
 // Profile exposes the synthesized cost profile.
@@ -382,8 +396,11 @@ func (pl *Planner) buildGroups(layers []model.Layer) []recompute.Group {
 // copy, so SetStageScale never invalidates cached entries (the isomorphism
 // key retains the stage index, keeping per-stage scaling cache-consistent).
 // Safe for concurrent use; in the parallel search the prefill has already
-// populated the cache, so the locked section is a map lookup.
-func (pl *Planner) stageCostFor(s, i, j int) stageCost {
+// populated the cache, so the locked section is a map lookup. tr (nil when
+// the caller is untraced) attributes any serial-path knapsack solve; the
+// shared solver's Trace is set only while mu is held, so concurrent searches
+// with different tracers cannot cross-attribute spans.
+func (pl *Planner) stageCostFor(tr *obs.Tracer, s, i, j int) stageCost {
 	pl.mu.Lock()
 	pl.Stats.CostEvaluations++
 	key := pl.isoKey(s, i, j)
@@ -391,7 +408,10 @@ func (pl *Planner) stageCostFor(s, i, j int) stageCost {
 	if hit {
 		pl.Stats.CacheHits++
 	} else {
+		// Serial solves render on track 0 next to the request phases.
+		pl.solver.Trace = tr
 		c = pl.solveStage(s, i, j, pl.solver, &pl.Stats)
+		pl.solver.Trace = nil
 		pl.cache[key] = c
 	}
 	scale := pl.scale
@@ -525,12 +545,16 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	searchStart := time.Now() //adapipevet:ignore detrand wall-clock effort counter; SearchStats never enters plan serialization
+	tr := obs.TracerFrom(ctx)
+	searchStart := pl.clock()
 	L := len(pl.layers)
 	p := pl.strat.PP
 	workers := pl.workerCount()
 	if workers > 1 && pl.opts.Partition != PartitionEven {
-		if err := pl.prefillCosts(ctx, workers); err != nil {
+		sp := tr.Start("search.prefill", obs.CatSearch, 0)
+		err := pl.prefillCosts(ctx, workers)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -541,13 +565,16 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 		if ctx.Err() != nil {
 			return 0, 0, false
 		}
-		c := pl.stageCostFor(s, i, j)
+		c := pl.stageCostFor(tr, s, i, j)
 		return c.fwd, c.bwd, c.ok
 	}
 
 	var bounds []int
 	var total, w, e, m float64
 	var cellsAdd, frontierAdd int
+	// Error returns leave the span unclosed and hence unrecorded — a failed
+	// search produces no partition span, which is the honest trace.
+	spDP := tr.Start("search.partition", obs.CatSearch, 0)
 	switch pl.opts.Partition {
 	case PartitionExact:
 		maxFrontier := pl.opts.MaxFrontier
@@ -589,11 +616,14 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 		cellsAdd = sol.DPCells
 	}
 
+	spDP.End()
+
 	// A cancellation that raced the DP's final cells may have produced a
 	// structurally valid but stale solution; never hand it out.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	spStages := tr.Start("search.stages", obs.CatSearch, 0)
 	plan := &Plan{
 		Model:        pl.cfg.Name,
 		Strategy:     pl.strat,
@@ -611,7 +641,7 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 	plan.CommFwd = pl.prof.CommTime(bw, pl.cluster.LinkLatency)
 	plan.CommBwd = plan.CommFwd // gradient of the boundary tensor, same shape
 	for s := 0; s < p; s++ {
-		c := pl.stageCostFor(s, bounds[s], bounds[s+1]-1)
+		c := pl.stageCostFor(tr, s, bounds[s], bounds[s+1]-1)
 		plan.Stages = append(plan.Stages, StagePlan{
 			Stage:     s,
 			LayerLo:   bounds[s],
@@ -622,11 +652,12 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 			Mem:       c.mem,
 		})
 	}
+	spStages.End()
 	pl.mu.Lock()
 	pl.Stats.PartitionCells += cellsAdd
 	pl.Stats.FrontierStates += frontierAdd
 	pl.Stats.Workers = workers
-	pl.Stats.SearchWall += time.Since(searchStart) //adapipevet:ignore detrand wall-clock effort counter; SearchStats never enters plan serialization
+	pl.Stats.SearchWall += pl.clock().Sub(searchStart)
 	plan.Search = pl.Stats
 	pl.mu.Unlock()
 	return plan, nil
@@ -640,7 +671,7 @@ func (pl *Planner) CostFor(s, i, j int) (fwd, bwd float64, ok bool) {
 	if s < 0 || s >= pl.strat.PP || i < 0 || j >= len(pl.layers) || i > j {
 		return 0, 0, false
 	}
-	c := pl.stageCostFor(s, i, j)
+	c := pl.stageCostFor(nil, s, i, j)
 	return c.fwd, c.bwd, c.ok
 }
 

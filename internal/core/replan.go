@@ -117,7 +117,7 @@ func (pl *Planner) planForBounds(bounds []int) (*Plan, error) {
 		return nil, fmt.Errorf("core: bounds %v do not partition %d layers into %d stages", bounds, L, p)
 	}
 	cost := func(s, i, j int) (float64, float64, bool) {
-		c := pl.stageCostFor(s, i, j)
+		c := pl.stageCostFor(nil, s, i, j)
 		return c.fwd, c.bwd, c.ok
 	}
 	total, w, e, m, ok := partition.Evaluate(bounds, pl.n, cost)
@@ -141,7 +141,7 @@ func (pl *Planner) planForBounds(bounds []int) (*Plan, error) {
 	plan.CommFwd = pl.prof.CommTime(bw, pl.cluster.LinkLatency)
 	plan.CommBwd = plan.CommFwd
 	for s := 0; s < p; s++ {
-		c := pl.stageCostFor(s, bounds[s], bounds[s+1]-1)
+		c := pl.stageCostFor(nil, s, bounds[s], bounds[s+1]-1)
 		plan.Stages = append(plan.Stages, StagePlan{
 			Stage:     s,
 			LayerLo:   bounds[s],

@@ -36,6 +36,11 @@ type BenchReport struct {
 	Workers int `json:"workers"`
 	// SpeedupParallel is serial ns/op divided by parallel ns/op.
 	SpeedupParallel float64 `json:"speedup_parallel"`
+	// ReplanNsPerOp is the incremental ReplanWithScale latency in ns/op —
+	// the straggler-reaction number the ROADMAP tracks toward its
+	// sub-millisecond target, promoted out of Runs so dashboards and diffs
+	// read it without scanning the run list.
+	ReplanNsPerOp int64 `json:"replan_ns_per_op"`
 	// KnapsackRuns and CacheHitRate are the search-effort counters of one
 	// full search (parallel mode), tying the wall-time figures to the work
 	// they bought.

@@ -15,6 +15,7 @@ func TestWriteBenchJSONRoundTripAndDeterminism(t *testing.T) {
 		GoMaxProcs:      8,
 		Workers:         8,
 		SpeedupParallel: 2.4,
+		ReplanNsPerOp:   550_000,
 		KnapsackRuns:    120,
 		CacheHitRate:    0.93,
 		Runs: []BenchRun{
@@ -53,6 +54,12 @@ func TestWriteBenchJSONRoundTripAndDeterminism(t *testing.T) {
 	if back.SpeedupParallel != report.SpeedupParallel || len(back.Runs) != 3 ||
 		back.Runs[1].Name != "PlanSearch/parallel" {
 		t.Errorf("round trip mangled the report: %+v", back)
+	}
+	if back.ReplanNsPerOp != 550_000 {
+		t.Errorf("ReplanNsPerOp round-tripped to %d, want 550000", back.ReplanNsPerOp)
+	}
+	if !bytes.Contains(b1, []byte(`"replan_ns_per_op": 550000`)) {
+		t.Error("replan_ns_per_op missing from the serialized report")
 	}
 }
 

@@ -14,6 +14,8 @@ package recompute
 import (
 	"fmt"
 	"sort"
+
+	"adapipe/internal/obs"
 )
 
 // Group describes one class of identical computation units within a stage
@@ -95,6 +97,15 @@ type Solver struct {
 	items  []item
 	scaled []int64
 	counts []int
+
+	// Trace, when non-nil, records one obs.CatSolve span per Optimize call
+	// on track Tid — the deepest level of a request trace. The owner of the
+	// request wires it (the planner's prefill workers attach their tracer
+	// here); the nil check lives inside Tracer.Start, so an untraced solve
+	// pays a pointer test and zero allocations.
+	Trace *obs.Tracer
+	// Tid is the trace track solve spans render on.
+	Tid int
 }
 
 // item is one 0/1 pseudo-item of the binary-split bounded knapsack.
@@ -120,6 +131,10 @@ func Optimize(groups []Group, capacity int64, opts Options) Solution {
 // Optimize is the package-level Optimize running on the solver's reused
 // scratch buffers.
 func (sv *Solver) Optimize(groups []Group, capacity int64, opts Options) Solution {
+	// The span name is a constant so traced and untraced solves allocate
+	// identically.
+	sp := sv.Trace.Start("knapsack", obs.CatSolve, sv.Tid)
+	defer sp.End()
 	sol := Solution{Saved: make(map[string]int, len(groups))}
 	quantum := opts.Quantum
 	if quantum <= 0 {

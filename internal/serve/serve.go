@@ -24,7 +24,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +49,7 @@ const (
 
 	headerCache = "X-Adapipe-Cache"
 	headerHash  = "X-Adapipe-Request-Hash"
+	headerTrace = "X-Adapipe-Trace"
 
 	maxBodyBytes = 1 << 20
 )
@@ -65,6 +68,19 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Workers sizes each search's worker pool (default GOMAXPROCS).
 	Workers int
+	// TraceBuffer bounds the ring of completed request traces served by
+	// GET /v1/trace/{id} (default 64; negative disables tracing — requests
+	// then run the nil-tracer hot path and carry no X-Adapipe-Trace
+	// header).
+	TraceBuffer int
+	// Clock supplies every timestamp the serving layer takes (trace spans,
+	// latency histograms, search-wall counters). Nil selects
+	// core.RealClock(); tests inject a fake for deterministic traces.
+	Clock obs.Clock
+	// Logger receives one structured record per plan/simulate request,
+	// carrying the trace ID so log lines join to traces. Nil disables
+	// request logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +96,12 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = pool.Default()
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 64
+	}
+	if c.Clock == nil {
+		c.Clock = core.RealClock()
+	}
 	return c
 }
 
@@ -92,6 +114,9 @@ type Server struct {
 	sem    chan struct{}
 	cache  *lruCache
 	flight *flightGroup
+	clock  obs.Clock
+	logger *slog.Logger
+	traces *traceStore
 
 	// planFn runs one search; tests substitute it to script timing.
 	planFn func(ctx context.Context, req request.PlanRequest) (*core.Plan, error)
@@ -102,6 +127,16 @@ type Server struct {
 	inFlight                       atomic.Int64
 	knapsackRuns                   atomic.Int64
 	searchWallNanos                atomic.Int64
+	traceSeq                       atomic.Int64
+
+	// The log-bucketed latency histograms behind /metrics: end-to-end
+	// request wall time, cold-search wall, admission-queue wait, and plan-
+	// cache lookup time — the four numbers that separate "search is slow"
+	// from "server is saturated".
+	histRequest obs.Histogram
+	histSearch  obs.Histogram
+	histQueue   obs.Histogram
+	histCache   obs.Histogram
 }
 
 // New builds a Server with the given configuration.
@@ -115,9 +150,23 @@ func New(cfg Config) *Server {
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 		cache:  newLRUCache(cfg.CacheSize),
 		flight: newFlightGroup(),
+		clock:  cfg.Clock,
+		logger: cfg.Logger,
+		traces: newTraceStore(cfg.TraceBuffer),
 	}
 	s.planFn = s.searchPlan
 	return s
+}
+
+// newTracer mints the tracer of one request, or nil when tracing is
+// disabled. Trace IDs are a process-local sequence ("t000001"): they only
+// need to be unique within the ring buffer's lifetime, and a deterministic
+// sequence keeps smoke tests and log correlation simple.
+func (s *Server) newTracer() *obs.Tracer {
+	if s.cfg.TraceBuffer <= 0 {
+		return nil
+	}
+	return obs.NewTracer(fmt.Sprintf("t%06d", s.traceSeq.Add(1)), s.clock, 0)
 }
 
 // Close cancels the server's base context: queued requests stop waiting for
@@ -132,6 +181,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	return mux
 }
 
@@ -170,61 +220,133 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, obs.RenderProm(obs.ServeMetrics("adapipe_serve", s.Stats())))
+	fmt.Fprint(w, obs.RenderPromHistogram("adapipe_serve_request_seconds",
+		"End-to-end plan/simulate request latency.", s.histRequest.Snapshot()))
+	fmt.Fprint(w, obs.RenderPromHistogram("adapipe_serve_search_seconds",
+		"Planner search wall time per cold request.", s.histSearch.Snapshot()))
+	fmt.Fprint(w, obs.RenderPromHistogram("adapipe_serve_queue_seconds",
+		"Admission-gate queue wait per search.", s.histQueue.Snapshot()))
+	fmt.Fprint(w, obs.RenderPromHistogram("adapipe_serve_cache_lookup_seconds",
+		"Plan-cache lookup latency.", s.histCache.Snapshot()))
+}
+
+// handleTrace serves GET /v1/trace/{id}: the stored trace of a recent
+// request, rendered as Chrome trace-event JSON. Repeated fetches of one id
+// return byte-identical documents (the trace is immutable once stored and
+// the renderer's ordering is deterministic).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "trace accepts GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	tr, ok := s.traces.Get(id)
+	if id == "" || !ok {
+		s.writeError(w, http.StatusNotFound, "unknown trace id (the ring keeps the most recent traces only)")
+		return
+	}
+	body, err := tr.Chrome()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 // handlePlan serves POST /v1/plan: parse and validate the request, answer
 // from the cache when the canonical hash is known, otherwise coalesce into
-// (or lead) the one search for that hash.
+// (or lead) the one search for that hash. Every request runs under a tracer
+// whose id comes back in X-Adapipe-Trace; the trace is stored in the ring
+// BEFORE the response is written, so a client that fetches /v1/trace/{id}
+// the moment it sees the response always finds it.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	req, hash, ok := s.decodeRequest(w, r)
-	if !ok {
-		return
+	tr := s.newTracer()
+	reqStart := s.clock()
+	hash, disposition, res := s.planResult(w, r, tr)
+	reqEnd := s.clock()
+	tr.Add("request", obs.CatRequest, 0, reqStart, reqEnd)
+	s.histRequest.Observe(reqEnd.Sub(reqStart))
+	s.traces.Put(tr)
+	if id := tr.ID(); id != "" {
+		w.Header().Set(headerTrace, id)
+	}
+	s.writeResult(w, hash, disposition, res)
+	s.logRequest(r, tr.ID(), hash, disposition, res.status, reqEnd.Sub(reqStart))
+}
+
+// planResult runs a plan request through its phases — decode, cache lookup,
+// coalesced search — recording one CatPhase span per phase. An empty
+// disposition means the failure happened before (or instead of) a
+// cache-classified outcome and no X-Adapipe-Cache header applies.
+func (s *Server) planResult(w http.ResponseWriter, r *http.Request, tr *obs.Tracer) (hash, disposition string, res flightResult) {
+	decStart := s.clock()
+	req, hash, herr := s.parsePlanRequest(w, r)
+	tr.Add("decode", obs.CatPhase, 0, decStart, s.clock())
+	if herr != nil {
+		return hash, "", errResult(herr.status, herr.msg)
 	}
 	s.planReqs.Add(1)
 
-	if body, ok := s.cache.Get(hash); ok {
+	lookStart := s.clock()
+	body, cached := s.cache.Get(hash)
+	lookEnd := s.clock()
+	tr.Add("cache", obs.CatPhase, 0, lookStart, lookEnd)
+	s.histCache.Observe(lookEnd.Sub(lookStart))
+	if cached {
 		s.hits.Add(1)
-		s.writeResult(w, hash, CacheHit, flightResult{status: http.StatusOK, body: body})
-		return
+		return hash, CacheHit, flightResult{status: http.StatusOK, body: body}
 	}
 
-	res, coalesced, err := s.flight.Do(r.Context(), hash, func() flightResult {
-		return s.runPlanSearch(req, hash)
+	flightStart := s.clock()
+	fres, coalesced, err := s.flight.Do(r.Context(), hash, func() flightResult {
+		return s.runPlanSearch(req, hash, tr)
 	})
 	if err != nil {
 		// This waiter's own context ended before the leader finished; the
 		// leader keeps running for everyone else.
-		s.writeError(w, http.StatusGatewayTimeout, "request cancelled while waiting for a coalesced search")
-		return
+		return hash, "", errResult(http.StatusGatewayTimeout, "request cancelled while waiting for a coalesced search")
 	}
-	disposition := CacheMiss
 	if coalesced {
-		disposition = CacheCoalesced
+		// The search ran under the leader's trace; this request only
+		// waited, and that wait is its whole story.
+		tr.Add("coalesce", obs.CatPhase, 0, flightStart, s.clock())
 		s.coalescedCount.Add(1)
-	} else if res.status == http.StatusOK {
+		return hash, CacheCoalesced, fres
+	}
+	if fres.status == http.StatusOK {
 		s.misses.Add(1)
 	}
-	s.writeResult(w, hash, disposition, res)
+	return hash, CacheMiss, fres
 }
 
 // runPlanSearch is the singleflight leader body: admission, the search
-// itself, response encoding, cache insertion.
-func (s *Server) runPlanSearch(req request.PlanRequest, hash string) flightResult {
+// itself, response encoding, cache insertion. The leader's tracer rides the
+// search context down through core.PlanContext to the knapsack solvers.
+func (s *Server) runPlanSearch(req request.PlanRequest, hash string, tr *obs.Tracer) flightResult {
+	qStart := s.clock()
 	ctx, cancel, admitted := s.admit()
 	defer cancel()
+	qEnd := s.clock()
+	tr.Add("queue", obs.CatPhase, 0, qStart, qEnd)
+	s.histQueue.Observe(qEnd.Sub(qStart))
 	if !admitted {
 		s.rejected.Add(1)
 		return errResult(http.StatusServiceUnavailable, "admission queue timeout: server at capacity")
 	}
 	defer s.release()
 
-	start := time.Now()
-	plan, err := s.planFn(ctx, req)
-	s.searchWallNanos.Add(int64(time.Since(start)))
+	searchStart := s.clock()
+	plan, err := s.planFn(obs.WithTracer(ctx, tr), req)
+	searchEnd := s.clock()
+	tr.Add("search", obs.CatPhase, 0, searchStart, searchEnd)
+	s.histSearch.Observe(searchEnd.Sub(searchStart))
+	s.searchWallNanos.Add(int64(searchEnd.Sub(searchStart)))
 	if err != nil {
 		return s.searchErrResult(ctx, err)
 	}
 	s.knapsackRuns.Add(int64(plan.Search.KnapsackRuns))
+	encStart := s.clock()
 	resp, err := request.NewPlanResponse(req, plan)
 	if err != nil {
 		return errResult(http.StatusInternalServerError, err.Error())
@@ -234,6 +356,7 @@ func (s *Server) runPlanSearch(req request.PlanRequest, hash string) flightResul
 		return errResult(http.StatusInternalServerError, err.Error())
 	}
 	s.cache.Put(hash, body)
+	tr.Add("encode", obs.CatPhase, 0, encStart, s.clock())
 	return flightResult{status: http.StatusOK, body: body}
 }
 
@@ -241,58 +364,78 @@ func (s *Server) runPlanSearch(req request.PlanRequest, hash string) flightResul
 // and then executed on the discrete-event simulator under the method's
 // pipeline schedule. Simulation output depends on the full outcome (per-
 // device series), so it bypasses the plan cache; the admission gate and
-// deadline still apply.
+// deadline still apply. Traced like /v1/plan: phase spans, a stored trace,
+// and an X-Adapipe-Trace header.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	req, hash, ok := s.decodeRequest(w, r)
-	if !ok {
-		return
+	tr := s.newTracer()
+	reqStart := s.clock()
+	hash, disposition, res := s.simResult(w, r, tr)
+	reqEnd := s.clock()
+	tr.Add("request", obs.CatRequest, 0, reqStart, reqEnd)
+	s.histRequest.Observe(reqEnd.Sub(reqStart))
+	s.traces.Put(tr)
+	if id := tr.ID(); id != "" {
+		w.Header().Set(headerTrace, id)
+	}
+	s.writeResult(w, hash, disposition, res)
+	s.logRequest(r, tr.ID(), hash, disposition, res.status, reqEnd.Sub(reqStart))
+}
+
+// simResult runs a simulate request through its phases (decode, queue,
+// search, encode), recording one CatPhase span per phase.
+func (s *Server) simResult(w http.ResponseWriter, r *http.Request, tr *obs.Tracer) (hash, disposition string, res flightResult) {
+	decStart := s.clock()
+	req, hash, herr := s.parsePlanRequest(w, r)
+	tr.Add("decode", obs.CatPhase, 0, decStart, s.clock())
+	if herr != nil {
+		return hash, "", errResult(herr.status, herr.msg)
 	}
 	s.simReqs.Add(1)
 
+	qStart := s.clock()
 	ctx, cancel, admitted := s.admit()
 	defer cancel()
+	qEnd := s.clock()
+	tr.Add("queue", obs.CatPhase, 0, qStart, qEnd)
+	s.histQueue.Observe(qEnd.Sub(qStart))
 	if !admitted {
 		s.rejected.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, "admission queue timeout: server at capacity")
-		return
+		return hash, "", errResult(http.StatusServiceUnavailable, "admission queue timeout: server at capacity")
 	}
 	defer s.release()
 
 	meth, err := req.MethodConfig()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return hash, "", errResult(http.StatusBadRequest, err.Error())
 	}
 	cfg, err := req.ModelConfig()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return hash, "", errResult(http.StatusBadRequest, err.Error())
 	}
 	cl, err := req.ClusterConfig()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return hash, "", errResult(http.StatusBadRequest, err.Error())
 	}
 	s.searches.Add(1)
 	s.inFlight.Add(1)
-	start := time.Now()
-	outcome := baseline.EvaluateContext(ctx, meth, cfg, cl, req.Strategy(), req.TrainingConfig(), mustOptions(req, s.cfg.Workers))
-	s.searchWallNanos.Add(int64(time.Since(start)))
+	searchStart := s.clock()
+	outcome := baseline.EvaluateContext(obs.WithTracer(ctx, tr), meth, cfg, cl, req.Strategy(), req.TrainingConfig(), mustOptions(req, s.cfg.Workers))
+	searchEnd := s.clock()
+	tr.Add("search", obs.CatPhase, 0, searchStart, searchEnd)
+	s.histSearch.Observe(searchEnd.Sub(searchStart))
+	s.searchWallNanos.Add(int64(searchEnd.Sub(searchStart)))
 	s.inFlight.Add(-1)
 	if outcome.Err != nil {
-		res := s.searchErrResult(ctx, outcome.Err)
-		s.writeResult(w, hash, CacheMiss, res)
-		return
+		return hash, CacheMiss, s.searchErrResult(ctx, outcome.Err)
 	}
 	if outcome.Plan == nil {
-		s.writeError(w, http.StatusUnprocessableEntity, "configuration is infeasible (OOM) under the requested method")
-		return
+		return hash, "", errResult(http.StatusUnprocessableEntity, "configuration is infeasible (OOM) under the requested method")
 	}
 	s.knapsackRuns.Add(int64(outcome.Plan.Search.KnapsackRuns))
+	encStart := s.clock()
 	planJSON, err := json.Marshal(outcome.Plan)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
-		return
+		return hash, "", errResult(http.StatusInternalServerError, err.Error())
 	}
 	resp := request.SimulateResponse{
 		Version:     request.Version,
@@ -307,40 +450,59 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
-		return
+		return hash, "", errResult(http.StatusInternalServerError, err.Error())
 	}
-	s.writeResult(w, hash, CacheMiss, flightResult{status: http.StatusOK, body: body})
+	tr.Add("encode", obs.CatPhase, 0, encStart, s.clock())
+	return hash, CacheMiss, flightResult{status: http.StatusOK, body: body}
 }
 
-// decodeRequest reads, parses, validates and hashes the request body,
-// answering 4xx itself on failure.
-func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (request.PlanRequest, string, bool) {
+// httpError carries a failure's HTTP mapping out of the phase helpers.
+type httpError struct {
+	status int
+	msg    string
+}
+
+// parsePlanRequest reads, parses, validates and hashes the request body (w
+// is needed by MaxBytesReader to arm connection close on overflow).
+func (s *Server) parsePlanRequest(w http.ResponseWriter, r *http.Request) (request.PlanRequest, string, *httpError) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, "plan endpoints accept POST only")
-		return request.PlanRequest{}, "", false
+		return request.PlanRequest{}, "", &httpError{http.StatusMethodNotAllowed, "plan endpoints accept POST only"}
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds 1 MiB")
-		} else {
-			s.writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+			return request.PlanRequest{}, "", &httpError{http.StatusRequestEntityTooLarge, "request body exceeds 1 MiB"}
 		}
-		return request.PlanRequest{}, "", false
+		return request.PlanRequest{}, "", &httpError{http.StatusBadRequest, "reading request body: " + err.Error()}
 	}
 	req, err := request.ParsePlanRequest(body)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return request.PlanRequest{}, "", false
+		return request.PlanRequest{}, "", &httpError{http.StatusBadRequest, err.Error()}
 	}
 	hash, err := req.Hash()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return request.PlanRequest{}, "", false
+		return request.PlanRequest{}, "", &httpError{http.StatusBadRequest, err.Error()}
 	}
-	return req, hash, true
+	return req, hash, nil
+}
+
+// logRequest emits one structured record per request. The trace ID is the
+// join key: a slow request in the log leads straight to its span breakdown
+// via /v1/trace/{id}.
+func (s *Server) logRequest(r *http.Request, id, hash, disposition string, status int, dur time.Duration) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("trace", id),
+		slog.String("hash", hash),
+		slog.String("cache", disposition),
+		slog.Int("status", status),
+		slog.Duration("dur", dur),
+	)
 }
 
 // admit acquires an admission slot under a fresh request deadline derived
@@ -405,15 +567,20 @@ func errResult(status int, msg string) flightResult {
 	return flightResult{status: status, body: append(body, '\n')}
 }
 
-// writeResult emits a search result with the cache-disposition headers. Error
+// writeResult emits a search result with the cache-disposition headers
+// (omitted when the failure preceded hashing or cache classification). Error
 // statuses are counted once here, whichever path produced them.
 func (s *Server) writeResult(w http.ResponseWriter, hash, disposition string, res flightResult) {
 	if res.status < 200 || res.status >= 300 {
 		s.errorCount.Add(1)
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set(headerCache, disposition)
-	w.Header().Set(headerHash, hash)
+	if disposition != "" {
+		w.Header().Set(headerCache, disposition)
+	}
+	if hash != "" {
+		w.Header().Set(headerHash, hash)
+	}
 	w.WriteHeader(res.status)
 	w.Write(res.body)
 }

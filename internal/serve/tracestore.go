@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"sync"
+
+	"adapipe/internal/obs"
+)
+
+// traceStore is a bounded FIFO ring of completed request traces keyed by
+// trace ID, the backing store of GET /v1/trace/{id}. FIFO rather than LRU:
+// a trace is a debugging artifact fetched at most a few times right after
+// its request, so recency promotion would only complicate the eviction
+// order for no retention benefit.
+type traceStore struct {
+	mu  sync.Mutex
+	max int
+	// order holds trace IDs oldest-first.
+	// guarded by mu
+	order []string
+	// traces indexes stored traces by ID.
+	// guarded by mu
+	traces map[string]*obs.Tracer
+}
+
+// newTraceStore builds a store bounded to max traces; max <= 0 disables
+// storage entirely (every Put is dropped, every Get misses).
+func newTraceStore(max int) *traceStore {
+	return &traceStore{max: max, traces: make(map[string]*obs.Tracer)}
+}
+
+// Put stores a completed trace, evicting the oldest entries beyond the
+// bound. Nil traces (tracing disabled) are dropped.
+func (ts *traceStore) Put(tr *obs.Tracer) {
+	if ts.max <= 0 || tr == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	id := tr.ID()
+	if _, ok := ts.traces[id]; !ok {
+		ts.order = append(ts.order, id)
+	}
+	ts.traces[id] = tr
+	for len(ts.order) > ts.max {
+		delete(ts.traces, ts.order[0])
+		ts.order = ts.order[1:]
+	}
+}
+
+// Get returns the stored trace for id.
+func (ts *traceStore) Get(id string) (*obs.Tracer, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	tr, ok := ts.traces[id]
+	return tr, ok
+}
+
+// Len returns the number of stored traces.
+func (ts *traceStore) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.order)
+}

@@ -121,8 +121,45 @@ func ChromeTrace(res sim.Result) ([]byte, error) {
 			Tid:  ev.Device,
 		})
 	}
-	// Stable sort with a full tie-break: events at equal timestamps (common
-	// in simulated timelines) must serialize identically across runs.
+	return marshalChrome(events)
+}
+
+// SpanEvent is one completed interval of a request-scoped trace, expressed
+// in seconds from the trace origin. It is the renderer-facing shape of an
+// obs tracer span (the obs package converts; trace cannot import obs without
+// a cycle through core).
+type SpanEvent struct {
+	// Name labels the interval; Cat is its category (request/phase/...).
+	Name, Cat string
+	// Start and Dur position the interval, in seconds from the origin.
+	Start, Dur float64
+	// Tid is the logical track the interval renders on.
+	Tid int
+}
+
+// ChromeSpans serializes request-scoped spans through the same Chrome
+// trace-event path as the simulated timelines, so a stored request trace
+// renders byte-identically on every export.
+func ChromeSpans(spans []SpanEvent) ([]byte, error) {
+	events := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Cat,
+			Ph:   "X",
+			Ts:   sp.Start * 1e6,
+			Dur:  sp.Dur * 1e6,
+			Pid:  0,
+			Tid:  sp.Tid,
+		})
+	}
+	return marshalChrome(events)
+}
+
+// marshalChrome orders events deterministically and renders the trace
+// document. Stable sort with a full tie-break: events at equal timestamps
+// (common in simulated timelines) must serialize identically across runs.
+func marshalChrome(events []chromeEvent) ([]byte, error) {
 	sort.SliceStable(events, func(i, j int) bool {
 		if events[i].Ts != events[j].Ts {
 			return events[i].Ts < events[j].Ts

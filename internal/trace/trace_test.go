@@ -170,6 +170,57 @@ func TestChromeTraceDeterministic(t *testing.T) {
 	}
 }
 
+func TestChromeSpans(t *testing.T) {
+	spans := []SpanEvent{
+		{Name: "request", Cat: "request", Start: 0, Dur: 0.010, Tid: 0},
+		{Name: "search", Cat: "phase", Start: 0.002, Dur: 0.007, Tid: 0},
+		{Name: "knapsack", Cat: "solve", Start: 0.003, Dur: 0.001, Tid: 1},
+		{Name: "knapsack", Cat: "solve", Start: 0.003, Dur: 0.002, Tid: 2},
+	}
+	data, err := ChromeSpans(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("%d events, want 4", len(doc.TraceEvents))
+	}
+	// Seconds convert to Chrome's microseconds; complete events throughout.
+	if ev := doc.TraceEvents[0]; ev.Name != "request" || ev.Ph != "X" || ev.Ts != 0 || ev.Dur != 10000 {
+		t.Errorf("first event = %+v, want the request span at ts=0 dur=10000us", ev)
+	}
+	// Equal-Ts events tie-break on Tid: the two knapsack solves keep their
+	// track order.
+	if doc.TraceEvents[2].Tid != 1 || doc.TraceEvents[3].Tid != 2 {
+		t.Errorf("equal-timestamp solves out of track order: %+v", doc.TraceEvents[2:])
+	}
+
+	// Byte-determinism: reversed input order must serialize identically.
+	rev := make([]SpanEvent, len(spans))
+	for i, sp := range spans {
+		rev[len(spans)-1-i] = sp
+	}
+	again, err := ChromeSpans(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("ChromeSpans depends on input order")
+	}
+}
+
 func TestMemoryCSV(t *testing.T) {
 	s, _ := schedule.OneFOneB(2, 3)
 	costs := []sim.StageCost{{Fwd: 1, Bwd: 2, SavedPerMicro: 5, Static: 50}, {Fwd: 1, Bwd: 2, SavedPerMicro: 5, Static: 50}}
