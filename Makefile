@@ -49,7 +49,7 @@ test:
 # planner packages — run-filtered so the GPT-3-scale timing tests stay out of
 # the slow race build.
 race:
-	$(GO) test -race ./internal/train/... ./internal/sim/... ./internal/pool/... ./internal/serve/...
+	$(GO) test -race ./internal/train/... ./internal/sim/... ./internal/pool/... ./internal/serve/... ./internal/fault/...
 	$(GO) test -race -run 'Concurrent|Parallel|Workers|Context|Cancel' ./internal/core/... ./internal/partition/...
 
 # bench runs the planner search benchmarks (serial vs parallel, replan) and
@@ -66,15 +66,20 @@ observe:
 	$(GO) run ./examples/observe -dir observe-out
 
 # chaos runs the fault-injection suite under the race detector across a fixed
-# seed matrix, then the end-to-end inject -> survive -> replan demo. The demo
-# exits non-zero unless the run survives every injected fault and adopts
-# exactly one straggler-driven replan.
+# seed matrix, then the end-to-end demos: inject -> survive -> replan for
+# transient faults, and inject -> detect loss -> resize for permanent node
+# loss. Each demo exits non-zero unless the run survives every injected fault
+# and adopts exactly one replan (straggler-driven) or one elastic resize
+# (node-loss-driven, with bit-identical losses across the shape change). The
+# merged counters land in chaos-metrics.prom, which CI uploads as an artifact.
 chaos:
 	for seed in 1 7 42; do \
 		ADAPIPE_CHAOS_SEED=$$seed $(GO) test -race -run 'Chaos|Fault|Recovery|Watchdog|Straggler|Replan|NonFinite' \
 			./internal/fault/... ./internal/train/... ./internal/obs/... ./internal/core/... || exit 1; \
+		$(GO) run ./cmd/adapipe -chaos -chaos-nodeloss -chaos-seed $$seed || exit 1; \
 	done
-	$(GO) run ./examples/chaos
+	$(GO) run ./examples/chaos -metrics chaos-metrics.prom
+	grep -q '^adapipe_fault_resizes_total 1$$' chaos-metrics.prom
 
 # serve-smoke exercises the adapiped daemon end to end from outside the
 # process: build it, bind an ephemeral port, check /healthz, plan the same
@@ -91,4 +96,4 @@ serve-smoke:
 ci: build vet vet-selftest test race bench observe chaos serve-smoke
 
 clean:
-	rm -rf bin observe-out BENCH_planner.json adapipevet.sarif servesmoke-trace.json
+	rm -rf bin observe-out BENCH_planner.json adapipevet.sarif servesmoke-trace.json chaos-metrics.prom

@@ -49,6 +49,22 @@ type (
 	// repriced incumbent, re-searched plan, both simulations, adoption
 	// verdict. Produced by Planner.ReplanWithScale.
 	Replan = core.Replan
+	// ShapeReplan is the outcome of an elastic shape replan after a node
+	// count change: the planner and plan for the winning pipeline depth on
+	// the resized cluster. Produced by Planner.ReplanWithShape.
+	ShapeReplan = core.ShapeReplan
+	// Membership is the cluster health model that separates transient from
+	// permanent failures by consecutive-failure streaks per stage.
+	Membership = fault.Membership
+	// TrainElastic configures the supervisor's elastic recovery: a health
+	// model, a Rebuild hook for node loss, an optional Grow hook for
+	// scale-up arrivals.
+	TrainElastic = train.Elastic
+	// TrainStageError is the per-stage failure a supervised step surfaces;
+	// the health model uses its Stage to attribute blame.
+	TrainStageError = train.StageError
+	// InjectedNodeLoss is the panic payload of a FaultNodeLoss rule.
+	InjectedNodeLoss = fault.InjectedNodeLoss
 )
 
 // Fault kinds and rule filters, re-exported from the fault package.
@@ -59,6 +75,12 @@ const (
 	FaultPanic = fault.Panic
 	// FaultCorrupt overwrites one output element with NaN/Inf.
 	FaultCorrupt = fault.Corrupt
+	// FaultNodeLoss kills every op of one stage from the rule's Attempt
+	// onward — a permanent loss no retry can outrun.
+	FaultNodeLoss = fault.NodeLoss
+	// FaultScaleUp is an arrival event (a spare node joining), counted by
+	// the injector's ArrivedNodes, never an op fault.
+	FaultScaleUp = fault.ScaleUp
 	// FaultAny matches every stage/micro/attempt in a rule filter.
 	FaultAny = fault.Any
 	// FaultPhaseForward restricts a rule to forward ops.
@@ -124,6 +146,13 @@ func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
 // (e.g. 1.5) and a consecutive-step window.
 func NewStragglerDetector(predicted []float64, threshold float64, window int) (*StragglerDetector, error) {
 	return obs.NewStragglerDetector(predicted, threshold, window)
+}
+
+// NewMembership builds a health model for a pipeline of stages, each backed
+// by nodesPerStage nodes, declaring a node dead after threshold consecutive
+// failures attributed to its stage. Attach via TrainSupervisor.Elastic.
+func NewMembership(stages, nodesPerStage, threshold int) (*Membership, error) {
+	return fault.NewMembership(stages, nodesPerStage, threshold)
 }
 
 // FaultMetrics converts fault counters into Prometheus-style gauges under

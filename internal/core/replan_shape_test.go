@@ -1,0 +1,157 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"adapipe/internal/hardware"
+	"adapipe/internal/model"
+	"adapipe/internal/parallel"
+)
+
+// shapeCluster builds a toy cluster with one small accelerator per node, so
+// node counts map 1:1 onto feasible pipeline depths.
+func shapeCluster(nodes int) hardware.Cluster {
+	return hardware.Cluster{
+		Name: "elastic-toy",
+		Device: hardware.Device{
+			Name:                "toy",
+			PeakFLOPS:           10e12,
+			MemBandwidth:        500e9,
+			MemCapacity:         1 << 40,
+			GEMMEfficiency:      0.5,
+			AttnEfficiency:      0.4,
+			BandwidthEfficiency: 0.8,
+		},
+		DevicesPerNode:     1,
+		Nodes:              nodes,
+		IntraNodeBandwidth: 50e9,
+		InterNodeBandwidth: 10e9,
+		LinkLatency:        2e-6,
+	}
+}
+
+func shapeSetup(t *testing.T, nodes, pp, globalBatch int) *Planner {
+	t.Helper()
+	pl, err := NewPlanner(model.Tiny(6), shapeCluster(nodes),
+		parallel.Strategy{TP: 1, PP: pp, DP: 1},
+		parallel.Config{GlobalBatch: globalBatch, MicroBatch: 1, SeqLen: 128},
+		DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the iso-cache with a plan on the original shape.
+	if _, err := pl.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestReplanWithShapeShrink: losing a node replans the surviving shape. On a
+// homogeneous toy model the deepest feasible pipeline wins (more overlap,
+// negligible bubble growth), and its bounds must still partition every layer.
+func TestReplanWithShapeShrink(t *testing.T) {
+	pl := shapeSetup(t, 4, 4, 8)
+	shrunk, err := pl.cluster.Resize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pl.ReplanWithShape(shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Strategy.PP != 3 {
+		t.Fatalf("adopted PP = %d on a 3-node cluster, want 3", r.Strategy.PP)
+	}
+	if len(r.Plan.Stages) != 3 {
+		t.Fatalf("plan has %d stages, want 3", len(r.Plan.Stages))
+	}
+	if lo := r.Plan.Stages[0].LayerLo; lo != 0 {
+		t.Errorf("first stage starts at layer %d, want 0", lo)
+	}
+	if hi := r.Plan.Stages[2].LayerHi; hi != pl.LayerCount() {
+		t.Errorf("last stage ends at layer %d, want %d", hi, pl.LayerCount())
+	}
+	if r.Sim.IterTime <= 0 {
+		t.Fatalf("simulated iteration %g, want > 0", r.Sim.IterTime)
+	}
+	// The winner changed depth, so no iso-cache entry was transferable.
+	if r.ReusedCostEntries != 0 {
+		t.Errorf("reused %d cost entries across a PP change", r.ReusedCostEntries)
+	}
+}
+
+// TestReplanWithShapeReusesIsoCache: when the winning depth equals the old
+// one, the candidate inherits the nominal iso-cache — and the reuse must not
+// change the outcome relative to a cold planner on the same cluster.
+func TestReplanWithShapeReusesIsoCache(t *testing.T) {
+	pl := shapeSetup(t, 4, 3, 8)
+	shrunk, err := pl.cluster.Resize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pl.ReplanWithShape(shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Strategy.PP != 3 {
+		t.Fatalf("adopted PP = %d, want 3 (unchanged)", r.Strategy.PP)
+	}
+	if r.ReusedCostEntries == 0 {
+		t.Error("no iso-cache entries reused despite an unchanged PP")
+	}
+
+	cold, err := NewPlanner(pl.cfg, shrunk, r.Strategy, pl.train, pl.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan.Total != want.Total {
+		t.Fatalf("cache-seeded plan total %g, cold plan total %g", r.Plan.Total, want.Total)
+	}
+	for s := range want.Stages {
+		if r.Plan.Stages[s].LayerLo != want.Stages[s].LayerLo || r.Plan.Stages[s].LayerHi != want.Stages[s].LayerHi {
+			t.Fatalf("stage %d bounds differ: seeded [%d,%d), cold [%d,%d)", s,
+				r.Plan.Stages[s].LayerLo, r.Plan.Stages[s].LayerHi,
+				want.Stages[s].LayerLo, want.Stages[s].LayerHi)
+		}
+	}
+}
+
+// TestReplanWithShapeMicroBatchFloor: a scale-up cannot adopt depths the
+// micro-batch count cannot fill — with n=4 micro-batches, a 6-node cluster
+// still caps the pipeline at 4 stages.
+func TestReplanWithShapeMicroBatchFloor(t *testing.T) {
+	pl := shapeSetup(t, 4, 4, 4)
+	grown, err := pl.cluster.Resize(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pl.ReplanWithShape(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Strategy.PP > 4 {
+		t.Fatalf("adopted PP = %d with only 4 micro-batches", r.Strategy.PP)
+	}
+}
+
+func TestReplanWithShapeValidation(t *testing.T) {
+	pl, err := NewPlanner(model.Tiny(6), shapeCluster(4),
+		parallel.Strategy{TP: 2, PP: 2, DP: 1},
+		parallel.Config{GlobalBatch: 8, MicroBatch: 1, SeqLen: 128},
+		DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.ReplanWithShape(hardware.Cluster{}); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+	small := shapeCluster(1) // 1 device cannot host one TP=2 stage
+	if _, err := pl.ReplanWithShape(small); err == nil || !strings.Contains(err.Error(), "fewer than one") {
+		t.Errorf("undersized cluster: err = %v", err)
+	}
+}

@@ -1,9 +1,13 @@
 // Package fault is a deterministic, seeded fault-injection layer for the live
 // 1F1B pipeline engine. An Injector is consulted by the executor around every
 // scheduled op and can delay it (a straggler device), panic mid-op (a
-// transient stage failure), or overwrite the op's output boundary tensor with
-// NaN/Inf (activation corruption) — the failure modes a production pipeline
-// must survive and the paper's fault-free model ignores.
+// transient stage failure), overwrite the op's output boundary tensor with
+// NaN/Inf (activation corruption), or kill a stage permanently (node loss) —
+// the failure modes a production pipeline must survive and the paper's
+// fault-free model ignores. ScaleUp rules model the opposite event, a node
+// arriving mid-run; the Membership model classifies repeated stage failures
+// as permanent so the engine knows when retrying is futile and resizing is
+// the only way forward.
 //
 // Every decision is a pure function of (seed, rule, attempt, stage, micro,
 // phase) via counter-based hashing, so injections are reproducible regardless
@@ -39,6 +43,19 @@ const (
 	// propagates into the loss and gradients, where the engine's guard
 	// catches it.
 	Corrupt
+	// NodeLoss kills every op of one stage from the rule's Attempt onward
+	// (Any fires from the start), modeling a permanently dead node: unlike a
+	// transient Panic, retrying the step does not help — the stage fails on
+	// every attempt until the engine removes the node and resizes. The rule
+	// needs a concrete Stage (a node hosts one stage) and takes no Delay;
+	// probabilistic rules decide once per (rule, stage) so a firing loss is
+	// consistently permanent rather than flickering across attempts.
+	NodeLoss
+	// ScaleUp is a node-arrival event, not an op fault: it never delays,
+	// panics or corrupts anything. The rule's exact Attempt is the arrival
+	// time; the engine polls ArrivedNodes to learn how many extra nodes are
+	// available and grows the cluster shape.
+	ScaleUp
 	kindCount
 )
 
@@ -51,6 +68,10 @@ func (k Kind) String() string {
 		return "panic"
 	case Corrupt:
 		return "corrupt"
+	case NodeLoss:
+		return "nodeloss"
+	case ScaleUp:
+		return "scaleup"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -83,7 +104,10 @@ type Rule struct {
 	// Attempt targets one Accumulate attempt (iteration attempts count
 	// retries), or Any. Targeting an exact attempt makes a fault transient:
 	// the retry of the same step runs under a later attempt number and the
-	// rule no longer matches.
+	// rule no longer matches. Two kinds read the field differently: a
+	// NodeLoss rule fires from Attempt onward (the node stays dead), and a
+	// ScaleUp rule's Attempt is the arrival time from which the node counts
+	// in ArrivedNodes.
 	Attempt int
 	// Phase restricts the rule to forward or backward ops.
 	Phase Phase
@@ -117,8 +141,8 @@ func (r Rule) WithProb(p float64) Rule { r.Prob = p; return r }
 // WithDelay sets the straggler sleep.
 func (r Rule) WithDelay(d time.Duration) Rule { r.Delay = d; return r }
 
-// validate reports whether the rule is well-formed.
-func (r Rule) validate() error {
+// Validate reports whether the rule is well-formed.
+func (r Rule) Validate() error {
 	switch {
 	case r.Kind >= kindCount:
 		return fmt.Errorf("fault: unknown kind %d", uint8(r.Kind))
@@ -132,6 +156,24 @@ func (r Rule) validate() error {
 		return fmt.Errorf("fault: negative delay %s", r.Delay)
 	case r.Kind == Straggler && r.Delay == 0:
 		return fmt.Errorf("fault: straggler rule needs a positive Delay")
+	case r.Kind == NodeLoss:
+		switch {
+		case r.Stage == Any:
+			return fmt.Errorf("fault: node-loss rule needs a concrete Stage (a node hosts one stage)")
+		case r.Delay != 0:
+			return fmt.Errorf("fault: node-loss rule takes no Delay (got %s)", r.Delay)
+		case r.Micro != Any || r.Phase != PhaseAny:
+			return fmt.Errorf("fault: node-loss kills every op of the stage; Micro/Phase filters are invalid: %+v", r)
+		}
+	case r.Kind == ScaleUp:
+		switch {
+		case r.Attempt == Any:
+			return fmt.Errorf("fault: scale-up rule needs an exact Attempt (the arrival time)")
+		case r.Delay != 0:
+			return fmt.Errorf("fault: scale-up rule takes no Delay (got %s)", r.Delay)
+		case r.Stage != Any || r.Micro != Any || r.Phase != PhaseAny:
+			return fmt.Errorf("fault: scale-up is a cluster event; Stage/Micro/Phase filters are invalid: %+v", r)
+		}
 	}
 	return nil
 }
@@ -149,6 +191,19 @@ func (p InjectedPanic) String() string {
 	return fmt.Sprintf("fault: injected panic (stage %d, micro %d, attempt %d)", p.Stage, p.Micro, p.Attempt)
 }
 
+// InjectedNodeLoss is the value an injected NodeLoss fault panics with. The
+// engine's recover path uses the distinct type to tell a permanently dead
+// node from a transient InjectedPanic.
+type InjectedNodeLoss struct {
+	// Stage, Micro and Attempt identify the op the dead node killed.
+	Stage, Micro, Attempt int
+}
+
+// String renders the node-loss payload.
+func (p InjectedNodeLoss) String() string {
+	return fmt.Sprintf("fault: injected node loss (stage %d, micro %d, attempt %d)", p.Stage, p.Micro, p.Attempt)
+}
+
 // Injector evaluates a rule set deterministically. It is safe for concurrent
 // use by every stage goroutine: decisions are pure hashes and the counters
 // are atomic.
@@ -159,12 +214,13 @@ type Injector struct {
 	stragglers  atomic.Int64
 	panics      atomic.Int64
 	corruptions atomic.Int64
+	nodeLosses  atomic.Int64
 }
 
 // New validates the rules and returns an injector keyed by seed.
 func New(seed uint64, rules ...Rule) (*Injector, error) {
 	for i, r := range rules {
-		if err := r.validate(); err != nil {
+		if err := r.Validate(); err != nil {
 			return nil, fmt.Errorf("fault: rule %d: %w", i, err)
 		}
 	}
@@ -190,6 +246,15 @@ func (in *Injector) OpStart(attempt, stage, micro int, backward bool, cancel <-c
 	phase := PhaseForward
 	if backward {
 		phase = PhaseBackward
+	}
+	// Dead nodes kill the op before anything else runs: a stage on a lost
+	// node neither computes slowly nor corrupts — it is simply gone.
+	for ri, r := range in.rules {
+		if r.Kind != NodeLoss || !in.nodeDown(ri, r, attempt, stage) {
+			continue
+		}
+		in.nodeLosses.Add(1)
+		panic(InjectedNodeLoss{Stage: stage, Micro: micro, Attempt: attempt})
 	}
 	for ri, r := range in.rules {
 		if r.Kind != Straggler || !in.fires(ri, r, attempt, stage, micro, phase) {
@@ -237,8 +302,51 @@ func (in *Injector) Corrupt(attempt, stage, micro int, backward bool, data []flo
 }
 
 // InjectedCounts returns how many faults of each kind have fired so far.
-func (in *Injector) InjectedCounts() (stragglers, panics, corruptions int64) {
-	return in.stragglers.Load(), in.panics.Load(), in.corruptions.Load()
+func (in *Injector) InjectedCounts() (stragglers, panics, corruptions, nodeLosses int64) {
+	return in.stragglers.Load(), in.panics.Load(), in.corruptions.Load(), in.nodeLosses.Load()
+}
+
+// ArrivedNodes reports how many ScaleUp rules have come due by the given
+// attempt: a rule counts once its Attempt is <= attempt (the node is
+// available from that attempt onward) and its probability draw — decided
+// once per rule, like a node either showing up or not — fires. The engine
+// polls it after each completed step to grow the cluster shape.
+func (in *Injector) ArrivedNodes(attempt int) int {
+	arrived := 0
+	for ri, r := range in.rules {
+		if r.Kind != ScaleUp || r.Attempt > attempt {
+			continue
+		}
+		if r.Prob < 1 {
+			if r.Prob <= 0 {
+				continue
+			}
+			h := in.hash(ri, 0, 0, 0, PhaseAny, 0x5c)
+			if float64(h>>11)*0x1p-53 >= r.Prob {
+				continue
+			}
+		}
+		arrived++
+	}
+	return arrived
+}
+
+// nodeDown decides whether NodeLoss rule ri has the identified stage's node
+// dead at the given attempt. The probability draw excludes the attempt (and
+// micro/phase): a node is either permanently lost from the rule's Attempt
+// onward or never lost — it cannot flicker back between retries.
+func (in *Injector) nodeDown(ri int, r Rule, attempt, stage int) bool {
+	if r.Stage != stage || (r.Attempt != Any && attempt < r.Attempt) {
+		return false
+	}
+	switch {
+	case r.Prob >= 1:
+		return true
+	case r.Prob <= 0:
+		return false
+	}
+	h := in.hash(ri, 0, stage, 0, PhaseAny, 0xd0)
+	return float64(h>>11)*0x1p-53 < r.Prob
 }
 
 // fires decides whether rule ri fires on the identified op — a pure function

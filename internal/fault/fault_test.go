@@ -21,6 +21,16 @@ func TestRuleValidation(t *testing.T) {
 		{"bad-stage", On(Panic).AtStage(-2), false},
 		{"bad-kind", Rule{Kind: kindCount, Stage: Any, Micro: Any, Attempt: Any, Prob: 1}, false},
 		{"negative-delay", On(Straggler).WithDelay(-time.Second), false},
+		{"nodeloss", On(NodeLoss).AtStage(1), true},
+		{"nodeloss-from-attempt", On(NodeLoss).AtStage(0).AtAttempt(3), true},
+		{"nodeloss-no-stage", On(NodeLoss), false},
+		{"nodeloss-with-delay", On(NodeLoss).AtStage(1).WithDelay(time.Second), false},
+		{"nodeloss-with-micro", On(NodeLoss).AtStage(1).AtMicro(2), false},
+		{"nodeloss-with-phase", On(NodeLoss).AtStage(1).OnPhase(PhaseBackward), false},
+		{"scaleup", On(ScaleUp).AtAttempt(4), true},
+		{"scaleup-no-attempt", On(ScaleUp), false},
+		{"scaleup-with-stage", On(ScaleUp).AtAttempt(4).AtStage(1), false},
+		{"scaleup-with-delay", On(ScaleUp).AtAttempt(4).WithDelay(time.Second), false},
 	}
 	for _, tc := range cases {
 		_, err := New(1, tc.rule)
@@ -41,7 +51,7 @@ func TestPanicFiltersAndPayload(t *testing.T) {
 	inj.OpStart(1, 1, 3, true, nil)  // wrong stage
 	inj.OpStart(1, 2, 0, true, nil)  // wrong micro
 	inj.OpStart(0, 2, 3, true, nil)  // wrong attempt
-	if _, p, _ := inj.InjectedCounts(); p != 0 {
+	if _, p, _, _ := inj.InjectedCounts(); p != 0 {
 		t.Fatalf("panics fired on non-matching ops: %d", p)
 	}
 
@@ -54,7 +64,7 @@ func TestPanicFiltersAndPayload(t *testing.T) {
 		if ip.Stage != 2 || ip.Micro != 3 || ip.Attempt != 1 {
 			t.Fatalf("payload = %+v", ip)
 		}
-		if _, p, _ := inj.InjectedCounts(); p != 1 {
+		if _, p, _, _ := inj.InjectedCounts(); p != 1 {
 			t.Fatalf("panic count = %d, want 1", p)
 		}
 	}()
@@ -117,7 +127,7 @@ func TestCorruptWritesNonFinite(t *testing.T) {
 	if bad != 1 {
 		t.Fatalf("corrupted %d elements, want exactly 1", bad)
 	}
-	if _, _, c := inj.InjectedCounts(); c != 1 {
+	if _, _, c, _ := inj.InjectedCounts(); c != 1 {
 		t.Fatalf("corruption count = %d, want 1", c)
 	}
 
@@ -144,7 +154,7 @@ func TestStragglerSleepIsCancellable(t *testing.T) {
 	if d := time.Since(start); d > 5*time.Second {
 		t.Fatalf("canceled straggler sleep still took %s", d)
 	}
-	if s, _, _ := inj.InjectedCounts(); s != 1 {
+	if s, _, _, _ := inj.InjectedCounts(); s != 1 {
 		t.Fatalf("straggler count = %d, want 1", s)
 	}
 }
@@ -163,7 +173,129 @@ func TestAttemptTargetingIsTransient(t *testing.T) {
 
 	// The retry runs under attempt 1 and must be clean.
 	inj.OpStart(1, 0, 0, false, nil)
-	if _, p, _ := inj.InjectedCounts(); p != 1 {
+	if _, p, _, _ := inj.InjectedCounts(); p != 1 {
 		t.Fatalf("panic count = %d, want 1", p)
+	}
+}
+
+// TestKindNamesCoverAllKinds pins the kind count: adding a kind without a
+// String name (and without revisiting validation) fails here.
+func TestKindNamesCoverAllKinds(t *testing.T) {
+	want := map[Kind]string{
+		Straggler: "straggler",
+		Panic:     "panic",
+		Corrupt:   "corrupt",
+		NodeLoss:  "nodeloss",
+		ScaleUp:   "scaleup",
+	}
+	if int(kindCount) != len(want) {
+		t.Fatalf("kindCount = %d, but %d kinds are named; update String, Validate and this test together", kindCount, len(want))
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), k.String(), name)
+		}
+	}
+}
+
+// TestNodeLossIsPermanent: unlike an attempt-targeted Panic, a NodeLoss rule
+// fires on its stage for every attempt from its Attempt onward — retrying
+// cannot outrun a dead node — and stays silent on other stages.
+func TestNodeLossIsPermanent(t *testing.T) {
+	inj := MustNew(5, On(NodeLoss).AtStage(1).AtAttempt(2))
+
+	// Before the loss and on other stages: clean.
+	inj.OpStart(0, 1, 0, false, nil)
+	inj.OpStart(1, 1, 3, true, nil)
+	inj.OpStart(4, 0, 0, false, nil)
+	inj.OpStart(4, 2, 0, true, nil)
+	if _, _, _, nl := inj.InjectedCounts(); nl != 0 {
+		t.Fatalf("node loss fired early or off-stage: %d", nl)
+	}
+
+	for _, attempt := range []int{2, 3, 7} {
+		func() {
+			defer func() {
+				r := recover()
+				ip, ok := r.(InjectedNodeLoss)
+				if !ok {
+					t.Fatalf("attempt %d: payload = %v (%T), want InjectedNodeLoss", attempt, r, r)
+				}
+				if ip.Stage != 1 || ip.Attempt != attempt {
+					t.Fatalf("payload = %+v", ip)
+				}
+			}()
+			inj.OpStart(attempt, 1, 0, false, nil)
+		}()
+	}
+	if _, _, _, nl := inj.InjectedCounts(); nl != 3 {
+		t.Fatalf("node-loss count = %d, want 3", nl)
+	}
+}
+
+// TestNodeLossProbabilisticIsConsistent: a probabilistic NodeLoss decides
+// once per (rule, stage) — whichever way the draw goes, it goes the same way
+// on every attempt, micro and phase. A node cannot be dead on attempt 3 and
+// alive on attempt 4.
+func TestNodeLossProbabilisticIsConsistent(t *testing.T) {
+	verdict := func(seed uint64, attempt int, backward bool) (dead bool) {
+		inj := MustNew(seed, On(NodeLoss).AtStage(0).WithProb(0.5))
+		defer func() {
+			if recover() != nil {
+				dead = true
+			}
+		}()
+		inj.OpStart(attempt, 0, attempt%3, backward, nil)
+		return false
+	}
+	deadSeeds, aliveSeeds := 0, 0
+	for seed := uint64(0); seed < 32; seed++ {
+		first := verdict(seed, 0, false)
+		if first {
+			deadSeeds++
+		} else {
+			aliveSeeds++
+		}
+		for attempt := 1; attempt < 6; attempt++ {
+			if verdict(seed, attempt, attempt%2 == 0) != first {
+				t.Fatalf("seed %d: node flickered between attempts", seed)
+			}
+		}
+	}
+	if deadSeeds == 0 || aliveSeeds == 0 {
+		t.Fatalf("prob 0.5 over 32 seeds: %d dead, %d alive; hash looks degenerate", deadSeeds, aliveSeeds)
+	}
+}
+
+// TestScaleUpArrivals: ScaleUp rules are events, not op faults — OpStart
+// ignores them entirely, and ArrivedNodes counts each rule from its Attempt
+// onward.
+func TestScaleUpArrivals(t *testing.T) {
+	inj := MustNew(3, On(ScaleUp).AtAttempt(2), On(ScaleUp).AtAttempt(5))
+
+	// Never an op fault: no panic, no delay, no counter.
+	inj.OpStart(2, 0, 0, false, nil)
+	inj.OpStart(5, 1, 0, true, nil)
+	if s, p, c, nl := inj.InjectedCounts(); s+p+c+nl != 0 {
+		t.Fatalf("scale-up perturbed ops: %d %d %d %d", s, p, c, nl)
+	}
+
+	for attempt, want := range map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 1, 5: 2, 9: 2} {
+		if got := inj.ArrivedNodes(attempt); got != want {
+			t.Errorf("ArrivedNodes(%d) = %d, want %d", attempt, got, want)
+		}
+	}
+
+	// A zero-probability arrival never shows up; repeated polls agree.
+	ghost := MustNew(3, On(ScaleUp).AtAttempt(0).WithProb(0))
+	if got := ghost.ArrivedNodes(10); got != 0 {
+		t.Fatalf("zero-prob arrival counted: %d", got)
+	}
+	prob := MustNew(3, On(ScaleUp).AtAttempt(0).WithProb(0.5))
+	first := prob.ArrivedNodes(10)
+	for i := 0; i < 5; i++ {
+		if prob.ArrivedNodes(10) != first {
+			t.Fatal("probabilistic arrival flickered between polls")
+		}
 	}
 }

@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Membership is the cluster health model that separates transient from
+// permanent failures: repeated consecutive failures attributed to one stage
+// mean the node backing it is dead, not unlucky. The policy is deliberately
+// distinct from the supervisor's retry budget — retries answer "how often do
+// we replay a step", the threshold answers "when do we stop believing the
+// node will come back".
+//
+// Each stage is backed by a fixed number of nodes. A stage whose consecutive
+// failure streak reaches the threshold loses one node; when its backing hits
+// zero the stage is down and the engine must resize onto a new shape. Any
+// successful step clears every streak (the pipeline is synchronous: one
+// healthy iteration exercises all stages).
+type Membership struct {
+	threshold     int
+	nodesPerStage int
+
+	mu sync.Mutex
+	// nodes is the surviving backing per stage.
+	// guarded by mu
+	nodes []int
+	// streak is the consecutive-failure count per stage.
+	// guarded by mu
+	streak []int
+	// lost counts nodes declared permanently dead.
+	// guarded by mu
+	lost int
+}
+
+// NewMembership builds a health model for stages pipeline stages, each backed
+// by nodesPerStage nodes, declaring a node dead after threshold consecutive
+// failures on its stage.
+func NewMembership(stages, nodesPerStage, threshold int) (*Membership, error) {
+	switch {
+	case stages <= 0:
+		return nil, fmt.Errorf("fault: membership needs at least one stage, got %d", stages)
+	case nodesPerStage <= 0:
+		return nil, fmt.Errorf("fault: membership needs at least one node per stage, got %d", nodesPerStage)
+	case threshold <= 0:
+		return nil, fmt.Errorf("fault: membership threshold must be positive, got %d", threshold)
+	}
+	m := &Membership{threshold: threshold, nodesPerStage: nodesPerStage}
+	m.nodes, m.streak = freshShape(stages, nodesPerStage)
+	return m, nil
+}
+
+// freshShape builds the per-stage backing and streak slices for a shape:
+// every stage starts with nodesPerStage nodes and a clean streak.
+func freshShape(stages, nodesPerStage int) (nodes, streak []int) {
+	nodes = make([]int, stages)
+	streak = make([]int, stages)
+	for s := range nodes {
+		nodes[s] = nodesPerStage
+	}
+	return nodes, streak
+}
+
+// ObserveFailure records a failure attributed to one stage. A failure on one
+// stage resets the other stages' streaks — the synchronous pipeline fails as
+// a whole, so only a *repeatedly* guilty stage accumulates evidence. When the
+// streak reaches the threshold the stage loses a node (lost reports it, and
+// the streak restarts for the surviving backing); down reports that no
+// backing remains and the engine must resize.
+func (m *Membership) ObserveFailure(stage int) (lost, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if stage < 0 || stage >= len(m.streak) {
+		return false, false
+	}
+	for s := range m.streak {
+		if s != stage {
+			m.streak[s] = 0
+		}
+	}
+	if m.nodes[stage] == 0 {
+		// Already fully down; the engine should have resized.
+		return false, true
+	}
+	m.streak[stage]++
+	if m.streak[stage] < m.threshold {
+		return false, false
+	}
+	m.nodes[stage]--
+	m.streak[stage] = 0
+	m.lost++
+	return true, m.nodes[stage] == 0
+}
+
+// ObserveSuccess records a healthy iteration, clearing every stage's streak.
+func (m *Membership) ObserveSuccess() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for s := range m.streak {
+		m.streak[s] = 0
+	}
+}
+
+// Resize reinstalls the model for a new pipeline shape after the engine
+// replans: every stage of the new shape starts with the construction-time
+// backing and a clean streak. The lifetime lost-node count is preserved.
+func (m *Membership) Resize(stages int) error {
+	if stages <= 0 {
+		return fmt.Errorf("fault: membership cannot resize to %d stages", stages)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes, m.streak = freshShape(stages, m.nodesPerStage)
+	return nil
+}
+
+// Nodes reports the surviving backing of one stage (0 for out-of-range).
+func (m *Membership) Nodes(stage int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if stage < 0 || stage >= len(m.nodes) {
+		return 0
+	}
+	return m.nodes[stage]
+}
+
+// Stages reports the current pipeline shape.
+func (m *Membership) Stages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.nodes)
+}
+
+// LostNodes reports how many nodes have been declared permanently dead over
+// the model's lifetime, across resizes.
+func (m *Membership) LostNodes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lost
+}

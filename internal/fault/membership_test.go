@@ -1,0 +1,151 @@
+package fault
+
+import "testing"
+
+func TestNewMembershipValidation(t *testing.T) {
+	cases := []struct {
+		name                             string
+		stages, nodesPerStage, threshold int
+		ok                               bool
+	}{
+		{"ok", 3, 1, 2, true},
+		{"multi-node", 4, 2, 3, true},
+		{"zero-stages", 0, 1, 2, false},
+		{"zero-nodes", 3, 0, 2, false},
+		{"zero-threshold", 3, 1, 0, false},
+		{"negative-threshold", 3, 1, -1, false},
+	}
+	for _, tc := range cases {
+		_, err := NewMembership(tc.stages, tc.nodesPerStage, tc.threshold)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+// TestMembershipThreshold: a stage must fail threshold times *consecutively*
+// to lose its node; a success in between clears the streak, and failures on
+// another stage clear it too (the synchronous pipeline fails as a whole, so
+// blame must be repeated to stick).
+func TestMembershipThreshold(t *testing.T) {
+	m, err := NewMembership(3, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two failures, then a healthy step: no loss.
+	for i := 0; i < 2; i++ {
+		if lost, down := m.ObserveFailure(1); lost || down {
+			t.Fatalf("failure %d already classified permanent", i)
+		}
+	}
+	m.ObserveSuccess()
+	for i := 0; i < 2; i++ {
+		if lost, down := m.ObserveFailure(1); lost || down {
+			t.Fatal("streak survived a success")
+		}
+	}
+
+	// A failure on another stage resets stage 1's streak.
+	if lost, _ := m.ObserveFailure(0); lost {
+		t.Fatal("stage 0's first failure classified permanent")
+	}
+	for i := 0; i < 2; i++ {
+		if lost, _ := m.ObserveFailure(1); lost {
+			t.Fatal("streak survived another stage's failure")
+		}
+	}
+	lost, down := m.ObserveFailure(1)
+	if !lost || !down {
+		t.Fatalf("third consecutive failure: lost=%v down=%v, want both (single-node stage)", lost, down)
+	}
+	if m.Nodes(1) != 0 {
+		t.Fatalf("stage 1 still has %d nodes after the loss", m.Nodes(1))
+	}
+	if m.LostNodes() != 1 {
+		t.Fatalf("lost nodes = %d, want 1", m.LostNodes())
+	}
+}
+
+// TestMembershipLastNodeOfStage: with multi-node backing, losing one node
+// reports lost but not down; only the last remaining node's loss downs the
+// stage. Once down, further failures keep reporting down without going
+// negative.
+func TestMembershipLastNodeOfStage(t *testing.T) {
+	m, err := NewMembership(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m.ObserveFailure(0)
+	lost, down := m.ObserveFailure(0)
+	if !lost || down {
+		t.Fatalf("first node loss: lost=%v down=%v, want lost only (one node remains)", lost, down)
+	}
+	if m.Nodes(0) != 1 {
+		t.Fatalf("stage 0 has %d nodes, want 1", m.Nodes(0))
+	}
+
+	m.ObserveFailure(0)
+	lost, down = m.ObserveFailure(0)
+	if !lost || !down {
+		t.Fatalf("last node loss: lost=%v down=%v, want both", lost, down)
+	}
+
+	// The stage is gone; the model keeps saying so instead of underflowing.
+	lost, down = m.ObserveFailure(0)
+	if lost || !down {
+		t.Fatalf("post-down failure: lost=%v down=%v, want down only", lost, down)
+	}
+	if m.Nodes(0) != 0 {
+		t.Fatalf("stage 0 node count went to %d", m.Nodes(0))
+	}
+	if m.LostNodes() != 2 {
+		t.Fatalf("lost nodes = %d, want 2", m.LostNodes())
+	}
+}
+
+// TestMembershipResize: resizing installs the new shape with fresh backing
+// and clean streaks while preserving the lifetime loss count; out-of-range
+// observations after the shrink are ignored.
+func TestMembershipResize(t *testing.T) {
+	m, err := NewMembership(3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveFailure(1)
+	if lost, down := m.ObserveFailure(1); !lost || !down {
+		t.Fatal("stage 1 did not go down")
+	}
+
+	if err := m.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stages() != 2 {
+		t.Fatalf("stages = %d, want 2", m.Stages())
+	}
+	for s := 0; s < 2; s++ {
+		if m.Nodes(s) != 1 {
+			t.Fatalf("stage %d has %d nodes after resize, want 1", s, m.Nodes(s))
+		}
+	}
+	if m.LostNodes() != 1 {
+		t.Fatalf("lifetime lost nodes = %d after resize, want 1", m.LostNodes())
+	}
+
+	// Old stage index 2 no longer exists; observing it is a no-op.
+	if lost, down := m.ObserveFailure(2); lost || down {
+		t.Fatal("out-of-range stage classified")
+	}
+	// Streaks restart on the new shape.
+	if lost, _ := m.ObserveFailure(0); lost {
+		t.Fatal("streak carried across resize")
+	}
+
+	if err := m.Resize(0); err == nil {
+		t.Fatal("Resize(0) accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"os"
@@ -314,4 +315,286 @@ func TestChaosSeededSurvival(t *testing.T) {
 		}
 	}
 	t.Logf("seed %d survived: counters %+v", seed, res.Fault)
+}
+
+// TestChaosElasticNodeLossContinuity is the elastic-recovery acceptance test:
+// a permanent node loss mid-run is detected by the membership model, the
+// supervisor restores the last snapshot, rebuilds the surviving 2-stage shape
+// and rebinds training state onto it exactly. Continuity is asserted on both
+// sides of the resize — pre-loss losses bit-identical to a fault-free run on
+// the old shape, post-resize losses bit-identical to a clean from-checkpoint
+// run on the new shape.
+func TestChaosElasticNodeLossContinuity(t *testing.T) {
+	const steps, micros = 6, 4
+	corpus := NewCorpus(chaosCfg.Vocab, 1<<14, 11)
+
+	// Run A — fault-free on the original 3-stage shape, capturing the
+	// checkpoint after step 2 (the state elastic recovery resumes from).
+	clean := buildPipe(t, chaosCfg, []int{0, 2, 4, 6})
+	rngA := tensor.NewRNG(8)
+	var cleanLosses []float64
+	var blob []byte
+	for step := 0; step < steps; step++ {
+		l, err := clean.Step(corpus.Batches(micros, chaosCfg.Seq, rngA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cleanLosses = append(cleanLosses, l)
+		if step == 2 {
+			if blob, err = clean.CheckpointBytes(3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Run C — clean from-checkpoint run on the NEW 2-stage shape: restore
+	// A's step-2 checkpoint into a fresh 2-stage pipeline and train steps
+	// 3..5 (advancing the data stream past the consumed batches first).
+	otherSeed := chaosCfg
+	otherSeed.Seed = 99
+	resumed := buildPipe(t, otherSeed, []int{0, 3, 6})
+	if _, err := resumed.LoadCheckpoint(bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	rngC := tensor.NewRNG(8)
+	for step := 0; step < 3; step++ {
+		corpus.Batches(micros, chaosCfg.Seq, rngC)
+	}
+	var tailLosses []float64
+	for step := 3; step < steps; step++ {
+		l, err := resumed.Step(corpus.Batches(micros, chaosCfg.Seq, rngC))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tailLosses = append(tailLosses, l)
+	}
+
+	// Run B — elastic: stage 1's node dies permanently at attempt 3 (step 3),
+	// so the step fails, is retried once (a dead node cannot be outrun), the
+	// membership threshold of 2 declares the node lost, and the supervisor
+	// resizes onto the 2-stage shape built by Rebuild.
+	pipe := buildPipe(t, chaosCfg, []int{0, 2, 4, 6})
+	pipe.Fault = fault.MustNew(1, fault.On(fault.NodeLoss).AtStage(1).AtAttempt(3))
+	pipe.Watchdog = 30 * time.Second
+	sup, err := NewSupervisor(pipe, Recovery{MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, err := fault.NewMembership(3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebuilds int
+	sup.Elastic = Elastic{
+		Health: health,
+		Rebuild: func(downStage int) (*Pipeline, error) {
+			rebuilds++
+			if downStage != 1 {
+				t.Errorf("rebuild blamed stage %d, want 1", downStage)
+			}
+			other := chaosCfg
+			other.Seed = 77 // a different construction seed proves Rebind alone determines the state
+			next := buildPipe(t, other, []int{0, 3, 6})
+			next.Fault = fault.MustNew(1) // fresh injector: the old shape's rules died with its nodes
+			return next, nil
+		},
+	}
+	rngB := tensor.NewRNG(8)
+	var got []float64
+	for step := 0; step < steps; step++ {
+		l, err := sup.Step(corpus.Batches(micros, chaosCfg.Seq, rngB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, l)
+	}
+
+	// Continuity: bit-identical on both sides of the resize.
+	for i := 0; i < 3; i++ {
+		if got[i] != cleanLosses[i] {
+			t.Fatalf("pre-loss step %d: elastic loss %v != fault-free loss %v", i, got[i], cleanLosses[i])
+		}
+	}
+	for i := 3; i < steps; i++ {
+		if got[i] != tailLosses[i-3] {
+			t.Fatalf("post-resize step %d: elastic loss %v != from-checkpoint loss %v", i, got[i], tailLosses[i-3])
+		}
+	}
+
+	if rebuilds != 1 {
+		t.Fatalf("rebuilt %d times, want exactly 1", rebuilds)
+	}
+	if len(sup.Pipe.Stages) != 2 {
+		t.Fatalf("supervised pipeline has %d stages after the resize, want 2", len(sup.Pipe.Stages))
+	}
+	if sup.StepsCompleted() != steps {
+		t.Fatalf("completed %d steps, want %d", sup.StepsCompleted(), steps)
+	}
+	c := sup.Counters()
+	if c.Resizes != 1 || c.LossesDetected != 1 || c.Retries != 1 {
+		t.Fatalf("counters = %+v, want 1 resize, 1 loss detected, 1 retry", c)
+	}
+	// The dead node killed the step twice (original + retry); the retired
+	// injector's counts were folded into Stats at rebind.
+	if c.NodeLosses != 2 {
+		t.Fatalf("node-loss count = %d, want 2", c.NodeLosses)
+	}
+	if c.ReplanWallNanos <= 0 {
+		t.Fatalf("resize wall time %d ns, want > 0", c.ReplanWallNanos)
+	}
+	if health.Stages() != 2 || health.LostNodes() != 1 {
+		t.Fatalf("health model: %d stages, %d lost nodes; want 2 and 1", health.Stages(), health.LostNodes())
+	}
+}
+
+// TestChaosElasticScaleUpGrow: a scale-up arrival after step 1 is offered to
+// the Grow hook, which moves training onto a deeper pipeline mid-run; losses
+// stay bit-identical to a fault-free run (partitioning never changes the
+// math), and the adopted arrivals are not re-offered.
+func TestChaosElasticScaleUpGrow(t *testing.T) {
+	const steps, micros = 5, 4
+	clean, err := Run(RunConfig{
+		Net: chaosCfg, Bounds: []int{0, 3, 6},
+		Steps: steps, MicroBatches: micros, LR: 2e-3, DataSeed: 53,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipe := buildPipe(t, chaosCfg, []int{0, 3, 6})
+	pipe.Fault = fault.MustNew(1, fault.On(fault.ScaleUp).AtAttempt(2))
+	sup, err := NewSupervisor(pipe, Recovery{MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offers []int
+	sup.Elastic = Elastic{
+		Grow: func(arrived int) (*Pipeline, error) {
+			offers = append(offers, arrived)
+			other := chaosCfg
+			other.Seed = 99
+			return buildPipe(t, other, []int{0, 2, 4, 6}), nil
+		},
+	}
+	corpus := NewCorpus(chaosCfg.Vocab, 1<<16, 53+7)
+	rng := tensor.NewRNG(53)
+	var got []float64
+	for step := 0; step < steps; step++ {
+		l, err := sup.Step(corpus.Batches(micros, chaosCfg.Seq, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, l)
+	}
+
+	if len(offers) != 1 || offers[0] != 1 {
+		t.Fatalf("grow offers = %v, want exactly one offer of 1 node", offers)
+	}
+	if len(sup.Pipe.Stages) != 3 {
+		t.Fatalf("pipeline has %d stages after the grow, want 3", len(sup.Pipe.Stages))
+	}
+	for i := range clean.Losses {
+		if got[i] != clean.Losses[i] {
+			t.Fatalf("step %d: grown loss %v != fault-free loss %v", i, got[i], clean.Losses[i])
+		}
+	}
+	if c := sup.Counters(); c.Resizes != 1 || c.LossesDetected != 0 {
+		t.Fatalf("counters = %+v, want 1 resize and 0 losses detected", c)
+	}
+}
+
+// TestChaosElasticGrowDeclined: a Grow hook returning a nil pipeline declines
+// the offer; the arrivals stay recorded so the offer is not repeated.
+func TestChaosElasticGrowDeclined(t *testing.T) {
+	pipe := buildPipe(t, chaosCfg, []int{0, 3, 6})
+	pipe.Fault = fault.MustNew(1, fault.On(fault.ScaleUp).AtAttempt(1))
+	sup, err := NewSupervisor(pipe, Recovery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offers := 0
+	sup.Elastic = Elastic{Grow: func(arrived int) (*Pipeline, error) { offers++; return nil, nil }}
+	for step := 0; step < 4; step++ {
+		if _, err := sup.Step(chaosBatches(t, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if offers != 1 {
+		t.Fatalf("declined offer repeated %d times, want 1", offers)
+	}
+	if c := sup.Counters(); c.Resizes != 0 {
+		t.Fatalf("declined grow still counted a resize: %+v", c)
+	}
+}
+
+// TestChaosElasticRequiresRebuild: detecting a down stage with no Rebuild
+// hook is a hard, descriptive error — not a silent retry loop.
+func TestChaosElasticRequiresRebuild(t *testing.T) {
+	pipe := buildPipe(t, chaosCfg, []int{0, 3, 6})
+	pipe.Fault = fault.MustNew(1, fault.On(fault.NodeLoss).AtStage(0))
+	pipe.Watchdog = 30 * time.Second
+	sup, err := NewSupervisor(pipe, Recovery{MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, err := fault.NewMembership(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Elastic = Elastic{Health: health}
+	_, err = sup.Step(chaosBatches(t, 4))
+	if err == nil || !strings.Contains(err.Error(), "no elastic Rebuild") {
+		t.Fatalf("err = %v, want a missing-Rebuild error", err)
+	}
+}
+
+// TestRecoveryRebindErrors: Rebind rejects a nil pipeline and a layer-count
+// mismatch with descriptive errors, and a rejected rebind leaves the
+// supervisor fully operational on its old pipeline.
+func TestRecoveryRebindErrors(t *testing.T) {
+	sup, err := NewSupervisor(buildPipe(t, chaosCfg, []int{0, 3, 6}), Recovery{MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Rebind(nil); err == nil || !strings.Contains(err.Error(), "nil pipeline") {
+		t.Fatalf("Rebind(nil) err = %v", err)
+	}
+	small := chaosCfg
+	small.Layers = 1
+	if err := sup.Rebind(buildPipe(t, small, []int{0, 2, 4})); err == nil || !strings.Contains(err.Error(), "layer-count mismatch") {
+		t.Fatalf("mismatched rebind err = %v", err)
+	}
+	if _, err := sup.Step(chaosBatches(t, 4)); err != nil {
+		t.Fatalf("supervisor broken after rejected rebinds: %v", err)
+	}
+}
+
+// TestRecoveryBackoffUsesClock: retry backoff sleeps on the supervisor's
+// injected clock, so a fake clock makes an hour-scale backoff complete
+// instantly in wall time.
+func TestRecoveryBackoffUsesClock(t *testing.T) {
+	pipe := buildPipe(t, chaosCfg, []int{0, 3, 6})
+	pipe.Fault = fault.MustNew(1, fault.On(fault.Panic).AtAttempt(0))
+	pipe.Watchdog = 30 * time.Second
+	sup, err := NewSupervisor(pipe, Recovery{MaxRetries: 2, Backoff: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	now := time.Unix(0, 0)
+	sup.Clock = func() time.Time {
+		reads++
+		now = now.Add(4 * time.Hour)
+		return now
+	}
+	start := time.Now()
+	if _, err := sup.Step(chaosBatches(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if reads == 0 {
+		t.Fatal("backoff never consulted the injected clock")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("hour-scale backoff took %s of wall time under a fake clock", elapsed)
+	}
 }

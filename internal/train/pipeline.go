@@ -35,7 +35,23 @@ type FaultInjector interface {
 	// Corrupt may overwrite elements of the op's output boundary tensor.
 	Corrupt(attempt, stage, micro int, backward bool, data []float64)
 	// InjectedCounts reports how many faults of each kind have fired.
-	InjectedCounts() (stragglers, panics, corruptions int64)
+	InjectedCounts() (stragglers, panics, corruptions, nodeLosses int64)
+}
+
+// StageError is the error a stage goroutine's recovered panic becomes. It
+// preserves which stage failed and the original panic payload so the
+// supervisor's health model can attribute blame (a dead node manifests as the
+// same stage failing attempt after attempt) instead of parsing error text.
+type StageError struct {
+	// Stage is the pipeline stage whose goroutine panicked.
+	Stage int
+	// Cause is the recovered panic payload (e.g. fault.InjectedPanic or
+	// fault.InjectedNodeLoss for injected faults).
+	Cause any
+}
+
+func (e *StageError) Error() string {
+	return fmt.Sprintf("train: stage %d: %v", e.Stage, e.Cause)
 }
 
 // Pipeline executes synchronous 1F1B pipeline-parallel training: one
@@ -78,6 +94,29 @@ func NewPipeline(stages []*Stage, lr float64) *Pipeline {
 		p.opts = append(p.opts, NewAdam(s.Params(), lr))
 	}
 	return p
+}
+
+// Attempts reports how many Accumulate calls (including retries) have run —
+// the attempt counter fault rules target and the clock elastic scale-up
+// arrivals are measured against.
+func (p *Pipeline) Attempts() int { return p.attempt }
+
+// LayerCount is the total model layer count across all stages (embedding +
+// blocks + head), the invariant Rebind checks before migrating state between
+// pipelines of different stage counts: repartitioning moves layer boundaries,
+// it never creates or destroys layers.
+func (p *Pipeline) LayerCount() int {
+	n := 0
+	for _, s := range p.Stages {
+		if s.Embed != nil {
+			n++
+		}
+		n += len(s.Blocks)
+		if s.HeadProj != nil {
+			n++
+		}
+	}
+	return n
 }
 
 type flowMsg struct {
@@ -259,7 +298,7 @@ func (r *iterRun) send(ch chan flowMsg, msg flowMsg) bool {
 func (r *iterRun) stage(s int) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			r.errs[s] = fmt.Errorf("train: stage %d: %v", s, rec)
+			r.errs[s] = &StageError{Stage: s, Cause: rec}
 			r.cancel()
 		}
 	}()
