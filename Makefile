@@ -52,12 +52,15 @@ race:
 	$(GO) test -race ./internal/train/... ./internal/sim/... ./internal/pool/... ./internal/serve/... ./internal/fault/...
 	$(GO) test -race -run 'Concurrent|Parallel|Workers|Context|Cancel' ./internal/core/... ./internal/partition/...
 
-# bench runs the planner search benchmarks (serial vs parallel, replan) and
-# writes BENCH_planner.json: ns/op for both modes, the measured speedup, and
-# the search-effort counters (knapsack runs, iso-cache hit rate). CI uploads
-# the file as an artifact so search-performance regressions leave a trail.
+# bench runs the planner search benchmarks (serial vs parallel, cold and
+# incremental replan) and writes BENCH_planner.json: ns/op for every mode,
+# the measured speedups, and the search-effort counters (knapsack runs,
+# iso-cache hit rate). The committed BENCH_planner.json doubles as the
+# regression baseline: a replan latency more than 25% above it fails the
+# run. CI uploads the refreshed file as an artifact so search-performance
+# regressions leave a trail.
 bench:
-	$(GO) run ./cmd/planbench -workers 8 -o BENCH_planner.json
+	$(GO) run ./cmd/planbench -workers 8 -baseline BENCH_planner.json -tolerance 0.25 -o BENCH_planner.json
 
 # observe runs the observability demo end to end: plan, execute with the op
 # recorder, simulate, and emit the drift report plus Chrome-trace/metrics

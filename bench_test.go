@@ -165,9 +165,12 @@ func BenchmarkPlanSearchParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkReplanWithScale times one straggler-driven replanning round —
-// reprice the incumbent, re-search under scaled costs, simulate both — with
-// the planner and incumbent plan built outside the timer.
+// BenchmarkReplanWithScale times one cold straggler-driven replanning round —
+// reprice the incumbent, re-search under scaled costs from scratch, simulate
+// both — with the planner and incumbent plan built outside the timer.
+// ResetIncremental inside the loop keeps the row honest now that warm
+// planners replan incrementally by default; BenchmarkReplanIncremental is
+// the warm counterpart.
 func BenchmarkReplanWithScale(b *testing.B) {
 	b.ReportAllocs()
 	opts := core.DefaultOptions()
@@ -180,9 +183,39 @@ func BenchmarkReplanWithScale(b *testing.B) {
 	scale := []float64{1, 1, 1.25, 1, 1, 1, 1, 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		pl.ResetIncremental()
 		if _, err := pl.ReplanWithScale(plan, scale); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkReplanIncremental times the warm-started replanning fast path:
+// the planner keeps its partition-DP memo and iso-cache from the previous
+// search, so each round only re-solves the DP levels whose stage scale
+// changed. The two scale vectors alternate a different value at stage 2 so
+// every iteration really invalidates and recomputes levels 0..2 rather than
+// reassembling a stale=-1 no-op.
+func BenchmarkReplanIncremental(b *testing.B) {
+	b.ReportAllocs()
+	opts := core.DefaultOptions()
+	opts.Workers = runtime.GOMAXPROCS(0)
+	pl := gptPlanner(b, opts)
+	plan, err := pl.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scales := [2][]float64{
+		{1, 1, 1.25, 1, 1, 1, 1, 1},
+		{1, 1, 1.35, 1, 1, 1, 1, 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := pl.ReplanWithScale(plan, scales[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan = r.New
 	}
 }
 

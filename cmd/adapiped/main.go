@@ -9,6 +9,7 @@
 //
 //	POST /v1/plan       plan a request           (cached, coalesced, traced)
 //	POST /v1/simulate   plan + simulate a request
+//	POST /v1/replan     replan under per-stage cost scales (warm-started)
 //	GET  /v1/trace/{id} Chrome trace JSON of a recent request
 //	GET  /healthz       liveness probe
 //	GET  /metrics       Prometheus text exposition (counters + histograms)
@@ -48,6 +49,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "search worker-pool size per request")
 		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget")
 		traces    = flag.Int("trace-buffer", 64, "request-trace ring size served by /v1/trace/{id} (negative disables tracing)")
+		planners  = flag.Int("planner-store", 64, "warm replanner store bound in live planners (evicted replans re-seed cold)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 		quiet     = flag.Bool("quiet", false, "disable per-request structured logging")
 	)
@@ -58,12 +60,13 @@ func main() {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	srv := serve.New(serve.Config{
-		CacheSize:      *cache,
-		MaxInFlight:    *inflight,
-		RequestTimeout: *timeout,
-		Workers:        *workers,
-		TraceBuffer:    *traces,
-		Logger:         logger,
+		CacheSize:        *cache,
+		MaxInFlight:      *inflight,
+		RequestTimeout:   *timeout,
+		Workers:          *workers,
+		TraceBuffer:      *traces,
+		PlannerStoreSize: *planners,
+		Logger:           logger,
 	})
 	if *debugAddr != "" {
 		// pprof rides its own listener and mux: the profiling surface stays

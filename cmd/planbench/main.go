@@ -45,7 +45,17 @@ func benchSearch(workers int) testing.BenchmarkResult {
 	})
 }
 
-func benchReplan(workers int) (testing.BenchmarkResult, error) {
+// benchReplan measures one straggler replanning round in both regimes. Cold:
+// ResetIncremental before every round drops the memo, so each one pays the
+// full re-search. Incremental: the planner keeps its memo, and the two scale
+// vectors alternate a different value at stage 2 so every round really
+// invalidates and recomputes levels 0..2 rather than reassembling a no-op.
+//
+// The replan figures feed the baseline regression gate, so they must be
+// stable against transient host load: the benchmark runs three times and the
+// fastest repetition is reported — the min is the load-noise-resistant
+// latency statistic (noise only ever adds time).
+func benchReplan(workers int, incremental bool) (testing.BenchmarkResult, error) {
 	pl, err := gptPlanner(workers)
 	if err != nil {
 		return testing.BenchmarkResult{}, err
@@ -54,20 +64,60 @@ func benchReplan(workers int) (testing.BenchmarkResult, error) {
 	if err != nil {
 		return testing.BenchmarkResult{}, err
 	}
-	scale := make([]float64, 8)
-	for i := range scale {
-		scale[i] = 1
+	scales := [2][]float64{
+		{1, 1, 1.25, 1, 1, 1, 1, 1}, // one degraded stage, the straggler scenario
+		{1, 1, 1.35, 1, 1, 1, 1, 1},
 	}
-	scale[2] = 1.25 // one degraded stage, the straggler-replanning scenario
-	res := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := pl.ReplanWithScale(plan, scale); err != nil {
-				b.Fatal(err)
+	var best testing.BenchmarkResult
+	for rep := 0; rep < 3; rep++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scale := scales[0]
+				if incremental {
+					scale = scales[i%2]
+				} else {
+					pl.ResetIncremental()
+				}
+				r, err := pl.ReplanWithScale(plan, scale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if incremental {
+					plan = r.New
+				}
 			}
+		})
+		if rep == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
 		}
-	})
-	return res, nil
+	}
+	return best, nil
+}
+
+// checkBaseline gates on regressions against a previous report: a measured
+// replan latency above baseline*(1+tolerance) fails the run. A baseline
+// field that is zero was written by an older build and is skipped — absence
+// of history is not a regression.
+func checkBaseline(baseline obs.BenchReport, report obs.BenchReport, tolerance float64) error {
+	check := func(name string, base, got int64) error {
+		if base <= 0 {
+			fmt.Printf("planbench: baseline has no %s, skipping that gate\n", name)
+			return nil
+		}
+		limit := int64(float64(base) * (1 + tolerance))
+		if got > limit {
+			return fmt.Errorf("%s regressed: %v/op vs baseline %v/op (tolerance %.0f%%)",
+				name, time.Duration(got), time.Duration(base), tolerance*100)
+		}
+		fmt.Printf("planbench: %s %v/op within %.0f%% of baseline %v/op\n",
+			name, time.Duration(got), tolerance*100, time.Duration(base))
+		return nil
+	}
+	if err := check("replan_ns_per_op", baseline.ReplanNsPerOp, report.ReplanNsPerOp); err != nil {
+		return err
+	}
+	return check("replan_incremental_ns_per_op", baseline.ReplanIncrementalNsPerOp, report.ReplanIncrementalNsPerOp)
 }
 
 func run(name string, r testing.BenchmarkResult) obs.BenchRun {
@@ -83,11 +133,36 @@ func run(name string, r testing.BenchmarkResult) obs.BenchRun {
 func main() {
 	workers := flag.Int("workers", 8, "worker-pool size of the parallel runs")
 	out := flag.String("o", "BENCH_planner.json", "output path for the JSON report")
+	baselinePath := flag.String("baseline", "", "previous BENCH_planner.json to gate replan latency against (empty disables the gate)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative replan regression vs the baseline")
 	flag.Parse()
+
+	// Read the baseline before benchmarking: -o and -baseline usually name
+	// the same file, and the report write must not clobber the history it is
+	// being compared against.
+	var baseline obs.BenchReport
+	haveBaseline := false
+	if *baselinePath != "" {
+		b, err := obs.ReadBenchJSON(*baselinePath)
+		switch {
+		case err == nil:
+			baseline, haveBaseline = b, true
+		case os.IsNotExist(err):
+			fmt.Printf("planbench: no baseline at %s, skipping the regression gate\n", *baselinePath)
+		default:
+			fmt.Fprintln(os.Stderr, "planbench:", err)
+			os.Exit(1)
+		}
+	}
 
 	serial := benchSearch(1)
 	par := benchSearch(*workers)
-	replan, err := benchReplan(*workers)
+	replan, err := benchReplan(*workers, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planbench:", err)
+		os.Exit(1)
+	}
+	replanInc, err := benchReplan(*workers, true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "planbench:", err)
 		os.Exit(1)
@@ -105,26 +180,36 @@ func main() {
 	}
 
 	report := obs.BenchReport{
-		Model:           "GPT-3 175B",
-		Shape:           fmt.Sprintf("L=%d p=8 n=%d", pl.LayerCount(), pl.MicroBatches()),
-		GoMaxProcs:      runtime.GOMAXPROCS(0),
-		Workers:         *workers,
-		SpeedupParallel: float64(serial.NsPerOp()) / float64(par.NsPerOp()),
-		ReplanNsPerOp:   replan.NsPerOp(),
-		KnapsackRuns:    pl.Stats.KnapsackRuns,
-		CacheHitRate:    pl.Stats.CacheHitRate(),
+		Model:                    "GPT-3 175B",
+		Shape:                    fmt.Sprintf("L=%d p=8 n=%d", pl.LayerCount(), pl.MicroBatches()),
+		GoMaxProcs:               runtime.GOMAXPROCS(0),
+		Workers:                  *workers,
+		SpeedupParallel:          float64(serial.NsPerOp()) / float64(par.NsPerOp()),
+		ReplanNsPerOp:            replan.NsPerOp(),
+		ReplanIncrementalNsPerOp: replanInc.NsPerOp(),
+		SpeedupReplanIncremental: float64(replan.NsPerOp()) / float64(replanInc.NsPerOp()),
+		KnapsackRuns:             pl.Stats.KnapsackRuns,
+		CacheHitRate:             pl.Stats.CacheHitRate(),
 		Runs: []obs.BenchRun{
 			run("PlanSearch/serial", serial),
 			run(fmt.Sprintf("PlanSearch/parallel-%d", *workers), par),
 			run("ReplanWithScale", replan),
+			run("ReplanIncremental", replanInc),
 		},
 	}
 	if err := obs.WriteBenchJSON(*out, report); err != nil {
 		fmt.Fprintln(os.Stderr, "planbench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("planbench: serial %v/op, parallel(%d) %v/op, speedup %.2fx on %d CPUs; replan %v/op\n",
+	fmt.Printf("planbench: serial %v/op, parallel(%d) %v/op, speedup %.2fx on %d CPUs; replan cold %v/op, incremental %v/op (%.1fx)\n",
 		time.Duration(serial.NsPerOp()), *workers, time.Duration(par.NsPerOp()),
-		report.SpeedupParallel, report.GoMaxProcs, time.Duration(replan.NsPerOp()))
+		report.SpeedupParallel, report.GoMaxProcs, time.Duration(replan.NsPerOp()),
+		time.Duration(replanInc.NsPerOp()), report.SpeedupReplanIncremental)
 	fmt.Printf("planbench: wrote %s\n", *out)
+	if haveBaseline {
+		if err := checkBaseline(baseline, report, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "planbench:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -10,6 +10,85 @@ import (
 	"adapipe/internal/parallel"
 )
 
+// FuzzReplanIncrementalVsFull is the fuzzed half of the incremental-replan
+// differential harness: an arbitrary small configuration is planned cold,
+// then repriced with a fuzz-chosen scale vector (identity, a single-stage
+// bump, every stage, or an extreme 10x straggler) through ReplanWithScale's
+// warm-started fast path. The resulting plan must be byte-identical
+// (canonical Plan JSON) to a cold full search on a fresh planner under the
+// same scale, and the fast path must never run more knapsacks than the cold
+// search does.
+func FuzzReplanIncrementalVsFull(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint8(4), uint8(0), uint8(1), uint8(0), uint8(0))   // identity
+	f.Add(uint8(6), uint8(4), uint8(8), uint8(0), uint8(4), uint8(2), uint8(1))   // single-stage bump
+	f.Add(uint8(6), uint8(4), uint8(8), uint8(2), uint8(8), uint8(0), uint8(2))   // all stages
+	f.Add(uint8(10), uint8(6), uint8(12), uint8(0), uint8(2), uint8(5), uint8(3)) // extreme 10x
+	f.Fuzz(func(t *testing.T, dec8, pp8, n8, part8, workers8, st8, kind8 uint8) {
+		decoders := int(dec8%10) + 1
+		L := 2*decoders + 2
+		pp := int(pp8%uint8(L)) + 1
+		if pp > 64 {
+			pp = 64
+		}
+		n := pp + int(n8%16)
+		part := []PartitionMode{PartitionAdaptive, PartitionExact}[part8%2]
+		workers := int(workers8 % 9)
+
+		scale := make([]float64, pp)
+		for s := range scale {
+			scale[s] = 1
+		}
+		switch kind8 % 4 {
+		case 0: // identity: pure reassembly, nothing invalidated
+		case 1:
+			scale[int(st8)%pp] = 1.25
+		case 2:
+			for s := range scale {
+				scale[s] = 1.1
+			}
+		case 3:
+			scale[int(st8)%pp] = 10
+		}
+
+		warm := tinyPlanner(t, decoders, pp, n, 0.15, part, workers)
+		old, err := warm.Plan()
+		if err != nil {
+			return // infeasible — nothing to replan
+		}
+		runsBefore := warm.Stats.KnapsackRuns
+		r, err := warm.ReplanWithScale(old, scale)
+		if err != nil {
+			t.Fatalf("replan: %v", err)
+		}
+		if warm.Stats.ReplanIncremental != 1 {
+			t.Fatalf("fast path not taken: ReplanIncremental = %d", warm.Stats.ReplanIncremental)
+		}
+
+		cold := tinyPlanner(t, decoders, pp, n, 0.15, part, workers)
+		if err := cold.SetStageScale(scale); err != nil {
+			t.Fatal(err)
+		}
+		coldPlan, err := cold.Plan()
+		if err != nil {
+			t.Fatalf("cold rebuild infeasible where warm replan succeeded: %v", err)
+		}
+		got, err := json.Marshal(r.New)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(coldPlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("incremental plan differs from cold search (scale %v):\n%s\nvs\n%s", scale, got, want)
+		}
+		if incr := warm.Stats.KnapsackRuns - runsBefore; incr > cold.Stats.KnapsackRuns {
+			t.Fatalf("incremental replan ran %d knapsacks, cold search only %d", incr, cold.Stats.KnapsackRuns)
+		}
+	})
+}
+
 // FuzzPlannerPlanRoundTrip drives the full search over arbitrary small
 // configurations — including degenerate shapes like one layer per stage and
 // near-zero memory budgets — asserting the planner never panics, and that

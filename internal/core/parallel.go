@@ -56,6 +56,7 @@ func (pl *Planner) prefillCosts(ctx context.Context, workers int) error {
 	// Enumerate one representative per missing iso class, under the lock
 	// (map reads of pl.cache); the scan itself is cheap relative to solves.
 	var tasks []prefillTask
+	var solvers []*recompute.Solver
 	pl.mu.Lock()
 	seen := make(map[costKey]bool, len(pl.cache))
 	add := func(s, i, j int) {
@@ -82,25 +83,39 @@ func (pl *Planner) prefillCosts(ctx context.Context, workers int) error {
 			}
 		}
 	}
+	if len(tasks) > 0 {
+		// Borrow the per-worker knapsack solvers from the planner's pool
+		// while the lock is still held; their scratch arenas survive across
+		// Plan calls, so repeat searches on one planner stop paying the
+		// per-request arena rebuild. The borrowed solvers are exclusively
+		// owned until the merge parks them back on the pool.
+		workers = pool.Clamp(workers, len(tasks))
+		for w := 0; w < workers; w++ {
+			if n := len(pl.solverPool); n > 0 {
+				solvers = append(solvers, pl.solverPool[n-1])
+				pl.solverPool[n-1] = nil
+				pl.solverPool = pl.solverPool[:n-1]
+			} else {
+				solvers = append(solvers, recompute.NewSolver())
+			}
+		}
+	}
 	pl.mu.Unlock()
 	if len(tasks) == 0 {
 		return ctx.Err()
 	}
 
-	workers = pool.Clamp(workers, len(tasks))
 	results := make([]stageCost, len(tasks))
 	done := make([]bool, len(tasks))
 	statsW := make([]SearchStats, workers)
 	busy := make([]time.Duration, workers)
 	tr := obs.TracerFrom(ctx)
-	solvers := make([]*recompute.Solver, workers)
-	for w := range solvers {
-		solvers[w] = recompute.NewSolver()
+	for w, sv := range solvers {
 		// Worker w's knapsack spans render on trace track w+1, leaving
 		// track 0 to the request-serial phases; the solver itself records
 		// them (recompute.Solver.Trace), the deepest traced level.
-		solvers[w].Trace = tr
-		solvers[w].Tid = w + 1
+		sv.Trace = tr
+		sv.Tid = w + 1
 	}
 	wallStart := pl.clock()
 	runErr := pool.RunContext(ctx, workers, len(tasks), func(w, i int) {
@@ -140,6 +155,13 @@ func (pl *Planner) prefillCosts(ctx context.Context, workers int) error {
 		pl.Stats.ParallelBusy += busy[w]
 	}
 	pl.Stats.ParallelWall += wall
+	// Park the borrowed solvers for the next run, dropping their tracer so
+	// a later request cannot cross-attribute knapsack spans.
+	for _, sv := range solvers {
+		sv.Trace = nil
+		sv.Tid = 0
+		pl.solverPool = append(pl.solverPool, sv)
+	}
 	pl.mu.Unlock()
 	return runErr
 }

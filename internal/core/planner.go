@@ -254,9 +254,32 @@ type Planner struct {
 	// guarded by mu
 	scale []float64
 	// solver is the serial-path knapsack scratch arena; prefill workers
-	// carry their own.
+	// borrow theirs from solverPool.
 	// guarded by mu
 	solver *recompute.Solver
+	// solverPool holds idle prefill knapsack solvers, reused across Plan
+	// calls so the parallel path stops rebuilding per-worker scratch arenas
+	// on every request.
+	// guarded by mu
+	solverPool []*recompute.Solver
+	// partMemo and exactMemo hold the partition-DP tables of the last
+	// completed search, kept to warm-start the next one; nil while a solve
+	// has one checked out or before the first search completes.
+	// guarded by mu
+	partMemo *partition.Memo
+	// exactMemo is partMemo's counterpart for PartitionExact.
+	// guarded by mu
+	exactMemo *partition.ExactMemo
+	// memoScale is the stage-scale vector the memos were computed under
+	// (nil = nominal), compared bit-wise against scale to decide which DP
+	// levels a warm-started search must recompute.
+	// guarded by mu
+	memoScale []float64
+	// dense is the pooled cost-snapshot buffer of the incremental fast
+	// path, filled under mu and read lock-free during the solve; nil while
+	// a warm-started solve has it checked out.
+	// guarded by mu
+	dense []denseEntry
 	// Stats accumulates search-effort counters across Plan calls (the cost
 	// cache persists, so the counters do too); each Plan carries a snapshot.
 	// Read it only after all concurrent Plan calls have returned.
@@ -401,6 +424,22 @@ func (pl *Planner) buildGroups(layers []model.Layer) []recompute.Group {
 // shared solver's Trace is set only while mu is held, so concurrent searches
 // with different tracers cannot cross-attribute spans.
 func (pl *Planner) stageCostFor(tr *obs.Tracer, s, i, j int) stageCost {
+	c := pl.stageCostNominal(tr, s, i, j)
+	pl.mu.Lock()
+	scale := pl.scale
+	pl.mu.Unlock()
+	if scale != nil {
+		c.fwd *= scale[s]
+		c.bwd *= scale[s]
+	}
+	return c
+}
+
+// stageCostNominal is stageCostFor without the scale application: it
+// returns the cached nominal cost entry, solving and caching on a miss.
+// Searches use it with a scale snapshot taken at claim time, so one solve
+// sees one consistent repricing even if SetStageScale races it.
+func (pl *Planner) stageCostNominal(tr *obs.Tracer, s, i, j int) stageCost {
 	pl.mu.Lock()
 	pl.Stats.CostEvaluations++
 	key := pl.isoKey(s, i, j)
@@ -414,12 +453,7 @@ func (pl *Planner) stageCostFor(tr *obs.Tracer, s, i, j int) stageCost {
 		pl.solver.Trace = nil
 		pl.cache[key] = c
 	}
-	scale := pl.scale
 	pl.mu.Unlock()
-	if scale != nil {
-		c.fwd *= scale[s]
-		c.bwd *= scale[s]
-	}
 	return c
 }
 
@@ -550,38 +584,93 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 	L := len(pl.layers)
 	p := pl.strat.PP
 	workers := pl.workerCount()
-	if workers > 1 && pl.opts.Partition != PartitionEven {
-		sp := tr.Start("search.prefill", obs.CatSearch, 0)
-		err := pl.prefillCosts(ctx, workers)
-		sp.End()
-		if err != nil {
-			return nil, err
+
+	// Try the incremental fast path first: if the last search's DP memo is
+	// still valid, check it out with a dense scale-applied cost snapshot
+	// and recompute only the levels the scale change invalidated.
+	spClaim := tr.Start("search.invalidate", obs.CatSearch, 0)
+	ws := pl.claimWarmStart()
+	spClaim.End()
+	memo, exact, stale := ws.memo, ws.exact, ws.stale
+	// The claimed state must flow back to the planner on every exit: the
+	// dense buffer is pooled, and the memo — revalidated by a completed
+	// solve — is what makes the next replan warm. A failed or cancelled
+	// solve leaves the memo's own valid flag false (partition.SolveMemo),
+	// so reinstalling it is safe but makes the next search cold.
+	installed := false
+	defer func() {
+		if installed {
+			return
 		}
-	}
-	cost := func(s, i, j int) (float64, float64, bool) {
-		// A cancelled context turns every remaining cost lookup into an
-		// immediate "infeasible" so the DP unwinds quickly; whatever partial
-		// solution it then returns is discarded below in favor of ctx.Err().
-		if ctx.Err() != nil {
-			return 0, 0, false
+		pl.mu.Lock()
+		if ws.dense != nil {
+			pl.dense = ws.dense
 		}
-		c := pl.stageCostFor(tr, s, i, j)
-		return c.fwd, c.bwd, c.ok
+		if memo != nil {
+			pl.partMemo = memo
+		}
+		if exact != nil {
+			pl.exactMemo = exact
+		}
+		pl.mu.Unlock()
+	}()
+
+	var cost partition.CostFn
+	if ws.ok {
+		cost = pl.denseCostFn(ctx, tr, &ws)
+	} else {
+		stale = p - 1
+		// A cold search on the memoizable modes fills a fresh memo so the
+		// next search can warm-start from it.
+		if !pl.opts.DisableIsomorphism {
+			switch pl.opts.Partition {
+			case PartitionExact:
+				exact = &partition.ExactMemo{}
+			case PartitionEven:
+			default:
+				memo = &partition.Memo{}
+			}
+		}
+		if workers > 1 && pl.opts.Partition != PartitionEven {
+			sp := tr.Start("search.prefill", obs.CatSearch, 0)
+			err := pl.prefillCosts(ctx, workers)
+			sp.End()
+			if err != nil {
+				return nil, err
+			}
+		}
+		scale := ws.scale
+		cost = func(s, i, j int) (float64, float64, bool) {
+			// A cancelled context turns every remaining cost lookup into an
+			// immediate "infeasible" so the DP unwinds quickly; whatever
+			// partial solution it then returns is discarded below in favor
+			// of ctx.Err().
+			if ctx.Err() != nil {
+				return 0, 0, false
+			}
+			c := pl.stageCostNominal(tr, s, i, j)
+			f, b := c.fwd, c.bwd
+			if scale != nil {
+				f *= scale[s]
+				b *= scale[s]
+			}
+			return f, b, c.ok
+		}
 	}
 
 	var bounds []int
 	var total, w, e, m float64
-	var cellsAdd, frontierAdd int
+	var cellsAdd, frontierAdd, warmAdd int
 	// Error returns leave the span unclosed and hence unrecorded — a failed
 	// search produces no partition span, which is the honest trace.
-	spDP := tr.Start("search.partition", obs.CatSearch, 0)
+	spanName := "search.partition"
+	if ws.ok {
+		spanName = "search.incremental"
+	}
+	spDP := tr.Start(spanName, obs.CatSearch, 0)
 	switch pl.opts.Partition {
 	case PartitionExact:
-		maxFrontier := pl.opts.MaxFrontier
-		if maxFrontier <= 0 {
-			maxFrontier = 128
-		}
-		sol, _, err := partition.SolveExactWorkers(L, p, pl.n, cost, maxFrontier, workers)
+		sol, _, err := partition.SolveExactMemo(L, p, pl.n, cost, pl.frontierCap(), exact, stale, workers)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, cerr
@@ -590,7 +679,7 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 		}
 		bounds = sol.Bounds
 		total, w, e, m = sol.Total, sol.W, sol.E, sol.M
-		cellsAdd, frontierAdd = sol.DPCells, sol.FrontierStates
+		cellsAdd, frontierAdd, warmAdd = sol.DPCells, sol.FrontierStates, sol.WarmCells
 	case PartitionEven:
 		bounds = partition.Even(L, p)
 		var ok bool
@@ -604,7 +693,7 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 		}
 		cellsAdd = p
 	default:
-		sol, err := partition.SolveWorkers(L, p, pl.n, cost, workers)
+		sol, err := partition.SolveMemo(L, p, pl.n, cost, memo, stale, workers)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, cerr
@@ -613,7 +702,7 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 		}
 		bounds = sol.Bounds
 		total, w, e, m = sol.Total, sol.W, sol.E, sol.M
-		cellsAdd = sol.DPCells
+		cellsAdd, warmAdd = sol.DPCells, sol.WarmCells
 	}
 
 	spDP.End()
@@ -641,7 +730,13 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 	plan.CommFwd = pl.prof.CommTime(bw, pl.cluster.LinkLatency)
 	plan.CommBwd = plan.CommFwd // gradient of the boundary tensor, same shape
 	for s := 0; s < p; s++ {
-		c := pl.stageCostFor(tr, s, bounds[s], bounds[s+1]-1)
+		// The assembly prices stages under the same scale snapshot the DP
+		// used, so a racing SetStageScale cannot tear the plan.
+		c := pl.stageCostNominal(tr, s, bounds[s], bounds[s+1]-1)
+		if ws.scale != nil {
+			c.fwd *= ws.scale[s]
+			c.bwd *= ws.scale[s]
+		}
 		plan.Stages = append(plan.Stages, StagePlan{
 			Stage:     s,
 			LayerLo:   bounds[s],
@@ -656,9 +751,27 @@ func (pl *Planner) PlanContext(ctx context.Context) (*Plan, error) {
 	pl.mu.Lock()
 	pl.Stats.PartitionCells += cellsAdd
 	pl.Stats.FrontierStates += frontierAdd
+	pl.Stats.WarmStartCells += warmAdd
+	if ws.ok {
+		pl.Stats.ReplanIncremental++
+		pl.Stats.InvalidatedIsoClasses += ws.invalidated
+	}
 	pl.Stats.Workers = workers
 	pl.Stats.SearchWall += pl.clock().Sub(searchStart)
 	plan.Search = pl.Stats
+	// Install the completed solve's memo and the scale it was computed
+	// under; the next search warm-starts from here.
+	pl.memoScale = ws.scale
+	if memo != nil {
+		pl.partMemo = memo
+	}
+	if exact != nil {
+		pl.exactMemo = exact
+	}
+	if ws.dense != nil {
+		pl.dense = ws.dense
+	}
+	installed = true
 	pl.mu.Unlock()
 	return plan, nil
 }
@@ -677,6 +790,15 @@ func (pl *Planner) CostFor(s, i, j int) (fwd, bwd float64, ok bool) {
 
 // LayerCount returns the length of the partitionable layer sequence.
 func (pl *Planner) LayerCount() int { return len(pl.layers) }
+
+// StatsSnapshot returns a consistent copy of the cumulative search counters,
+// safe to take while other goroutines plan on this planner (unlike reading
+// Stats directly, which is only safe once all concurrent calls returned).
+func (pl *Planner) StatsSnapshot() SearchStats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.Stats
+}
 
 // coarsenToLayers merges each layer kind's optional units into one atomic
 // knapsack item, so a layer is saved or recomputed as a whole — the coarse

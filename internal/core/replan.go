@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"adapipe/internal/partition"
@@ -71,7 +72,21 @@ func (r *Replan) Speedup() float64 {
 // make things worse, so validation happens in the simulator before any
 // live pipeline is rebuilt. The scale stays installed afterwards (the
 // degradation is real until SetStageScale(nil) says otherwise).
+//
+// On a warm planner — one whose previous search installed the partition-DP
+// memo — the re-search runs incrementally: only the DP levels at or below
+// the highest stage whose scale changed are recomputed, against the pooled
+// dense cost snapshot. The produced plan is byte-identical to a cold full
+// search under the same scale (FuzzReplanIncrementalVsFull); only the work
+// differs. Stats.ReplanIncremental counts the replans that took this path.
 func (pl *Planner) ReplanWithScale(old *Plan, scale []float64) (*Replan, error) {
+	return pl.ReplanWithScaleContext(context.Background(), old, scale)
+}
+
+// ReplanWithScaleContext is ReplanWithScale with ctx threaded into the
+// re-search, so a serving layer's deadlines, cancellation and tracer reach
+// the warm-started partition DP exactly as they reach a cold PlanContext.
+func (pl *Planner) ReplanWithScaleContext(ctx context.Context, old *Plan, scale []float64) (*Replan, error) {
 	if old == nil {
 		return nil, fmt.Errorf("core: replan needs the incumbent plan")
 	}
@@ -91,7 +106,7 @@ func (pl *Planner) ReplanWithScale(old *Plan, scale []float64) (*Replan, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: repricing incumbent plan: %w", err)
 	}
-	next, err := pl.Plan()
+	next, err := pl.PlanContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: replanning under scaled costs: %w", err)
 	}

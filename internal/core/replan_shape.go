@@ -91,6 +91,16 @@ func (pl *Planner) ReplanWithShape(cluster hardware.Cluster) (*ShapeReplan, erro
 				cand.cache[k] = v
 			}
 			reused = len(cand.cache)
+			// The partition DP memo is valid across cluster shapes exactly
+			// when PP is unchanged, for the same reason the cost entries
+			// are: the table depends on the cluster only through the stage
+			// costs. Clone it (with the scale it was computed under) so the
+			// candidate's search warm-starts instead of running cold; the
+			// candidate carries no scale, so the warm-started solve
+			// recomputes exactly the levels the dropped scale had touched.
+			cand.partMemo = pl.partMemo.Clone()
+			cand.exactMemo = pl.exactMemo.Clone()
+			cand.memoScale = pl.memoScale
 			pl.mu.Unlock()
 		}
 		plan, err := cand.Plan()

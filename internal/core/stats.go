@@ -30,8 +30,20 @@ type SearchStats struct {
 	// is the average capacity shrink the reduction bought.
 	QuantaBeforeGCD, QuantaAfterGCD int64
 	// PartitionCells counts the (stage, start, end) cells Algorithm 1 (or
-	// its exact variant) evaluated.
+	// its exact variant) evaluated. Warm-started searches count only the
+	// recomputed levels here; the reused levels land in WarmStartCells.
 	PartitionCells int
+	// ReplanIncremental counts searches served by the incremental fast
+	// path: a warm-started partition DP over a dense scale-applied snapshot
+	// of the iso-cache, skipping the prefill entirely.
+	ReplanIncremental int
+	// InvalidatedIsoClasses counts iso-cache classes whose stage-cost scale
+	// changed between a warm-started search and the memo it reused — the
+	// exact invalidation work the incremental replanner performed.
+	InvalidatedIsoClasses int
+	// WarmStartCells counts the partition-DP cost evaluations represented
+	// by memo levels reused bit-for-bit instead of recomputed.
+	WarmStartCells int
 	// FrontierStates is the total Pareto-frontier size across cells
 	// (PartitionExact only).
 	FrontierStates int
@@ -86,6 +98,10 @@ func (s SearchStats) String() string {
 	if s.FrontierStates > 0 {
 		fmt.Fprintf(&b, ", %d frontier states", s.FrontierStates)
 	}
+	if s.ReplanIncremental > 0 {
+		fmt.Fprintf(&b, ", %d incremental replans (%d classes invalidated, %d cells warm)",
+			s.ReplanIncremental, s.InvalidatedIsoClasses, s.WarmStartCells)
+	}
 	if s.Workers > 1 {
 		fmt.Fprintf(&b, ", %d workers (%.1fx effective parallelism)", s.Workers, s.ParallelSpeedup())
 	}
@@ -111,5 +127,8 @@ func (s SearchStats) PromMetrics(prefix string) []obs.Metric {
 		{Name: prefix + "_workers", Help: "worker-pool size of the most recent search (1 = serial)", Value: float64(s.Workers)},
 		{Name: prefix + "_parallel_speedup", Help: "effective parallelism of the worker pool (busy/wall over parallel sections)", Value: s.ParallelSpeedup()},
 		{Name: prefix + "_parallel_wall_seconds", Help: "wall-clock seconds inside parallel prefill sections", Value: s.ParallelWall.Seconds()},
+		{Name: prefix + "_replans_incremental", Help: "searches served by the warm-started incremental fast path", Value: float64(s.ReplanIncremental)},
+		{Name: prefix + "_invalidated_iso_classes", Help: "iso-cache classes invalidated by stage-scale changes across warm-started searches", Value: float64(s.InvalidatedIsoClasses)},
+		{Name: prefix + "_warm_start_cells", Help: "partition DP cost evaluations reused from warm-start memos", Value: float64(s.WarmStartCells)},
 	}
 }

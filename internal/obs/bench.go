@@ -36,11 +36,21 @@ type BenchReport struct {
 	Workers int `json:"workers"`
 	// SpeedupParallel is serial ns/op divided by parallel ns/op.
 	SpeedupParallel float64 `json:"speedup_parallel"`
-	// ReplanNsPerOp is the incremental ReplanWithScale latency in ns/op —
-	// the straggler-reaction number the ROADMAP tracks toward its
-	// sub-millisecond target, promoted out of Runs so dashboards and diffs
-	// read it without scanning the run list.
+	// ReplanNsPerOp is the cold ReplanWithScale latency in ns/op: the
+	// incremental state is dropped before every round, so each one pays the
+	// full re-search. Promoted out of Runs so dashboards and diffs read it
+	// without scanning the run list.
 	ReplanNsPerOp int64 `json:"replan_ns_per_op"`
+	// ReplanIncrementalNsPerOp is the warm-started replan latency in ns/op —
+	// the planner keeps its partition-DP memo and iso-cache between rounds,
+	// so only the levels the scale change touched are recomputed. This is
+	// the straggler-reaction number the ROADMAP tracks toward its
+	// sub-millisecond target. Zero in reports written before the field
+	// existed.
+	ReplanIncrementalNsPerOp int64 `json:"replan_incremental_ns_per_op"`
+	// SpeedupReplanIncremental is cold replan ns/op divided by incremental
+	// replan ns/op.
+	SpeedupReplanIncremental float64 `json:"speedup_replan_incremental"`
 	// KnapsackRuns and CacheHitRate are the search-effort counters of one
 	// full search (parallel mode), tying the wall-time figures to the work
 	// they bought.
@@ -58,4 +68,20 @@ func WriteBenchJSON(path string, r BenchReport) error {
 		return fmt.Errorf("obs: encoding bench report: %w", err)
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchJSON reads a report previously written by WriteBenchJSON.
+// Reports from older builds may lack newer fields, which decode to zero —
+// regression gates must treat a zero baseline as "not recorded", not "was
+// instantaneous".
+func ReadBenchJSON(path string) (BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return BenchReport{}, fmt.Errorf("obs: decoding bench report %s: %w", path, err)
+	}
+	return r, nil
 }

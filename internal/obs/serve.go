@@ -21,6 +21,14 @@ type ServeStats struct {
 	Searches          int64
 	KnapsackRuns      int64
 	SearchWallSeconds float64
+	// ReplanRequests counts accepted POST /v1/replan requests;
+	// ReplanIncremental the ones answered by a warm-started incremental
+	// search (the planner for the request hash already existed), ReplanCold
+	// the ones that had to run the cold search seeding that planner first,
+	// and ReplanAdopted the replans whose re-searched plan beat the repriced
+	// incumbent. ReplanPlanners is the warm-planner store's population.
+	ReplanRequests, ReplanIncremental, ReplanCold, ReplanAdopted int64
+	ReplanPlanners                                               int64
 	// InFlight is the number of searches currently holding an admission
 	// slot; Rejected counts requests that timed out waiting for one.
 	InFlight, Rejected int64
@@ -43,6 +51,11 @@ func ServeMetrics(prefix string, s ServeStats) []Metric {
 		{Name: prefix + "_searches_total", Help: "plan searches executed", Value: float64(s.Searches)},
 		{Name: prefix + "_knapsack_runs_total", Help: "recomputation DPs solved across all searches", Value: float64(s.KnapsackRuns)},
 		{Name: prefix + "_search_wall_seconds_total", Help: "summed search wall time in seconds", Value: s.SearchWallSeconds},
+		{Name: prefix + "_replan_requests_total", Help: "accepted replan requests", Value: float64(s.ReplanRequests)},
+		{Name: prefix + "_replans_incremental_total", Help: "replans served by a warm-started incremental search", Value: float64(s.ReplanIncremental)},
+		{Name: prefix + "_replans_cold_total", Help: "replans that first ran the cold search seeding a warm planner", Value: float64(s.ReplanCold)},
+		{Name: prefix + "_replans_adopted_total", Help: "replans whose re-searched plan beat the repriced incumbent", Value: float64(s.ReplanAdopted)},
+		{Name: prefix + "_replan_planners", Help: "warm planners currently held for replanning", Value: float64(s.ReplanPlanners)},
 		{Name: prefix + "_in_flight", Help: "searches currently holding an admission slot", Value: float64(s.InFlight)},
 		{Name: prefix + "_rejected_total", Help: "requests that timed out waiting for admission", Value: float64(s.Rejected)},
 		{Name: prefix + "_errors_total", Help: "requests answered with a non-2xx status", Value: float64(s.Errors)},

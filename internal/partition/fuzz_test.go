@@ -88,5 +88,138 @@ func FuzzPartitionSolveVsBruteForce(f *testing.F) {
 		if exactErr == nil && !reflect.DeepEqual(exact, exactW) {
 			t.Fatalf("SolveExactWorkers(4) differs from SolveExact:\n%+v\nvs\n%+v", exactW, exact)
 		}
+
+		// Dominance-pruning property: with the dominance filter disabled the
+		// per-cell frontiers are supersets of the pruned ones, and the
+		// optimum must not move by a single bit — the parent recurrences are
+		// monotone in every state component, so a dominated state can never
+		// derive a smaller total than its dominator's chain, in IEEE float
+		// arithmetic as well as in the reals.
+		oracle, _, oracleErr := solveExactMemo(L, p, n, cost, 0, nil, p-1, 1, true)
+		if (oracleErr == nil) != (exactErr == nil) {
+			t.Fatalf("feasibility disagreement: unpruned oracle err=%v, SolveExact err=%v", oracleErr, exactErr)
+		}
+		if exactErr == nil {
+			if math.Float64bits(oracle.Total) != math.Float64bits(exact.Total) {
+				t.Fatalf("dominance pruning moved the optimum: pruned %.17g, unpruned oracle %.17g",
+					exact.Total, oracle.Total)
+			}
+			if oracle.FrontierStates < exact.FrontierStates {
+				t.Fatalf("unpruned oracle kept %d states, fewer than the pruned run's %d",
+					oracle.FrontierStates, exact.FrontierStates)
+			}
+		}
+	})
+}
+
+// stripEffort zeroes a plan's search-effort counters so differential checks
+// compare the solution itself: a warm-started solve legitimately recomputes
+// fewer cells than a cold one.
+func stripEffort(p Plan) Plan {
+	p.DPCells = 0
+	p.WarmCells = 0
+	return p
+}
+
+// stageScaled wraps a cost function with a per-stage multiplier, the exact
+// shape of the planner's straggler repricing.
+func stageScaled(base CostFn, sc []float64) CostFn {
+	return func(s, i, j int) (float64, float64, bool) {
+		f, b, ok := base(s, i, j)
+		return f * sc[s], b * sc[s], ok
+	}
+}
+
+// FuzzPartitionMemoVsCold is the partition-level differential harness for
+// warm-started solving: a memo built under one per-stage scale vector and
+// re-solved under another (recomputing only the levels at or below the
+// highest changed stage) must be bit-identical to a cold solve under the new
+// vector — for the Algorithm 1 solver and the exact Pareto variant, serial
+// and sharded, including a trimming frontier cap.
+func FuzzPartitionMemoVsCold(f *testing.F) {
+	f.Add(uint32(1), uint8(6), uint8(3), uint8(8), uint8(0), uint8(1), uint8(0))
+	f.Add(uint32(42), uint8(7), uint8(7), uint8(7), uint8(4), uint8(3), uint8(1))
+	f.Add(uint32(7), uint8(5), uint8(2), uint8(12), uint8(8), uint8(0), uint8(2))
+	f.Add(uint32(99), uint8(8), uint8(4), uint8(6), uint8(2), uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint32, l8, p8, n8, inf8, st8, kind8 uint8) {
+		L := int(l8%7) + 1
+		p := int(p8%uint8(L)) + 1
+		n := p + int(n8%8)
+		base := fuzzCost(seed, int(inf8%12))
+
+		// First solve under all-ones scale, then reprice one of four ways:
+		// identity (stale = −1), a single mid-stage bump, every stage, or an
+		// extreme 10x straggler.
+		scale := make([]float64, p)
+		for s := range scale {
+			scale[s] = 1
+		}
+		st := int(st8) % p
+		stale := st
+		switch kind8 % 4 {
+		case 0: // identity: nothing to recompute
+			stale = -1
+		case 1:
+			scale[st] = 1.25
+		case 2:
+			for s := range scale {
+				scale[s] = 1.1
+			}
+			stale = p - 1
+		case 3:
+			scale[st] = 10
+		}
+
+		ones := make([]float64, p)
+		for s := range ones {
+			ones[s] = 1
+		}
+		for _, workers := range []int{1, 4} {
+			memo := &Memo{}
+			warm0, err0 := SolveMemo(L, p, n, stageScaled(base, ones), memo, p-1, workers)
+			cold, coldErr := SolveWorkers(L, p, n, stageScaled(base, scale), workers)
+			warm, warmErr := SolveMemo(L, p, n, stageScaled(base, scale), memo, stale, workers)
+			if err0 != nil {
+				// Infeasible instances stay infeasible under any positive
+				// scale; both re-solves must agree.
+				if coldErr == nil || warmErr == nil {
+					t.Fatalf("infeasible instance became feasible: cold=%v warm=%v", coldErr, warmErr)
+				}
+			} else {
+				if (warmErr == nil) != (coldErr == nil) {
+					t.Fatalf("feasibility disagreement: warm err=%v, cold err=%v", warmErr, coldErr)
+				}
+				if coldErr == nil && !reflect.DeepEqual(stripEffort(warm), stripEffort(cold)) {
+					t.Fatalf("warm-started solve differs from cold (workers=%d, stale=%d):\n%+v\nvs\n%+v",
+						workers, stale, warm, cold)
+				}
+				if coldErr == nil && stale < p-1 && warm.WarmCells == 0 && warm0.DPCells > 0 {
+					t.Fatalf("warm solve with stale=%d reused no cells", stale)
+				}
+			}
+
+			// The exact variant under the same repricing, with a small cap so
+			// trimmed frontiers go through the memo path too.
+			for _, fcap := range []int{0, 2} {
+				em := &ExactMemo{}
+				_, _, eerr0 := SolveExactMemo(L, p, n, stageScaled(base, ones), fcap, em, p-1, workers)
+				coldE, coldExactFlag, coldEErr := SolveExactWorkers(L, p, n, stageScaled(base, scale), fcap, workers)
+				warmE, warmExactFlag, warmEErr := SolveExactMemo(L, p, n, stageScaled(base, scale), fcap, em, stale, workers)
+				if eerr0 != nil {
+					if coldEErr == nil || warmEErr == nil {
+						t.Fatalf("infeasible exact instance became feasible: cold=%v warm=%v", coldEErr, warmEErr)
+					}
+					continue
+				}
+				if (warmEErr == nil) != (coldEErr == nil) || warmExactFlag != coldExactFlag {
+					t.Fatalf("exact warm/cold disagreement: err %v vs %v, exact %v vs %v",
+						warmEErr, coldEErr, warmExactFlag, coldExactFlag)
+				}
+				if coldEErr == nil && !reflect.DeepEqual(stripEffort(warmE), stripEffort(coldE)) {
+					t.Fatalf("warm-started exact solve differs from cold (workers=%d, fcap=%d, stale=%d):\n%+v\nvs\n%+v",
+						workers, fcap, stale, warmE, coldE)
+				}
+			}
+		}
 	})
 }

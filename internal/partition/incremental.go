@@ -1,0 +1,181 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"adapipe/internal/pool"
+)
+
+// Memo is the saved DP table of a completed SolveMemo run, used to
+// warm-start the next solve. The suffix DP of Algorithm 1 has a locality
+// property the replanner exploits: the level-s states depend only on the
+// stage costs of stages s..p−1, so when a repricing changes the costs of
+// stages in some set S, every level strictly above max(S) is bit-for-bit
+// identical to the previous solve and can be reused; only levels
+// 0..max(S) need recomputation. The zero Memo is valid and behaves like a
+// cold solve on first use.
+//
+// A Memo is not safe for concurrent use; callers serialize access (the
+// planner checks its memo out under its mutex for the duration of a solve).
+type Memo struct {
+	l, p, n int
+	// levels[s][i] is the Algorithm 1 state for layers i..l−1 with stages
+	// s..p−1 — the P table of SolveWorkers, kept across solves.
+	levels [][]State
+	// cells[s] counts the cost evaluations level s performed when it was
+	// last computed, so a warm-started solve can report how much work the
+	// reused levels represent.
+	cells []int64
+	valid bool
+}
+
+// Valid reports whether the memo holds a completed solve for exactly L
+// layers, p stages and n micro-batches.
+func (m *Memo) Valid(L, p, n int) bool {
+	return m != nil && m.valid && m.l == L && m.p == p && m.n == n
+}
+
+// Clone deep-copies the memo so two planners can warm-start independently
+// (shape replanning seeds the unchanged-depth candidate with a clone).
+func (m *Memo) Clone() *Memo {
+	if m == nil {
+		return nil
+	}
+	out := &Memo{l: m.l, p: m.p, n: m.n, valid: m.valid}
+	out.levels = make([][]State, len(m.levels))
+	for s := range m.levels {
+		out.levels[s] = append([]State(nil), m.levels[s]...)
+	}
+	out.cells = append([]int64(nil), m.cells...)
+	return out
+}
+
+// SolveMemo runs Algorithm 1 warm-started from memo: levels above stale are
+// reused from the previous solve and only levels 0..stale are recomputed
+// (stale = p−1 is a cold solve; stale = −1 reassembles the plan without
+// recomputing anything). The caller asserts that every stage cost at levels
+// above stale is unchanged since the memo was filled; under that contract
+// the result is bit-identical to a cold SolveWorkers run, because the
+// recomputed levels use the same serial ascending-j scan, the same float
+// operations and the same first-win tie-break as the cold path, and the
+// reused levels are the cold path's own outputs.
+//
+// An invalid or shape-mismatched memo (including nil) forces a cold solve.
+// A solve that fails — infeasible inputs or a cost function neutered by
+// context cancellation — leaves the memo invalid so the next solve starts
+// cold rather than trusting a partially-recomputed table.
+func SolveMemo(L, p, n int, cost CostFn, memo *Memo, stale, workers int) (Plan, error) {
+	if err := check(L, p, n); err != nil {
+		return Plan{}, err
+	}
+	if memo == nil {
+		memo = &Memo{}
+	}
+	if !memo.Valid(L, p, n) {
+		memo.l, memo.p, memo.n = L, p, n
+		memo.levels = make([][]State, p)
+		for s := range memo.levels {
+			memo.levels[s] = make([]State, L)
+		}
+		memo.cells = make([]int64, p)
+		stale = p - 1
+	}
+	if stale > p-1 {
+		stale = p - 1
+	}
+	memo.valid = false
+	for s := stale; s >= 0; s-- {
+		memo.cells[s] = solveLevel(L, p, n, s, cost, memo.levels, workers)
+	}
+	plan, err := assembleStates(L, p, memo.levels)
+	if err != nil {
+		return Plan{}, err
+	}
+	for s := 0; s < p; s++ {
+		if s <= stale {
+			plan.DPCells += int(memo.cells[s])
+		} else {
+			plan.WarmCells += int(memo.cells[s])
+		}
+	}
+	memo.valid = true
+	return plan, nil
+}
+
+// solveLevel computes DP level s of Algorithm 1 into P[s], fanning the
+// independent cells across the worker pool, and returns the number of cost
+// evaluations performed. Every cell in range is overwritten unconditionally
+// so a reused table never leaks stale states into a recomputed level.
+func solveLevel(L, p, n, s int, cost CostFn, P [][]State, workers int) int64 {
+	// Cell counting is a commutative sum, so an atomic keeps the tally exact
+	// (and deterministic) under any worker interleaving.
+	var cells atomic.Int64
+	if s == p-1 {
+		// Base case: the last stage takes everything that remains.
+		pool.Run(workers, L, func(_, i int) {
+			cells.Add(1)
+			f, b, ok := cost(p-1, i, L-1)
+			if !ok {
+				P[p-1][i] = State{}
+				return
+			}
+			P[p-1][i] = State{
+				W: f, E: b, M: f + b, F: f, B: b,
+				T:     f + b + float64(n-1)*(f+b),
+				Split: L - 1,
+				OK:    true,
+			}
+		})
+		return cells.Load()
+	}
+	// Stage s must start no later than layer L−(p−s) so every later stage
+	// keeps at least one layer. Each cell i at this level reads only level
+	// s+1 and writes only P[s][i]: race-free sharding.
+	pool.Run(workers, L-p+s+1, func(_, i int) {
+		best := State{T: math.Inf(1)}
+		for j := i; j <= L-p+s; j++ {
+			next := P[s+1][j+1]
+			if !next.OK {
+				continue
+			}
+			cells.Add(1)
+			f, b, ok := cost(s, i, j)
+			if !ok {
+				continue
+			}
+			w := f + math.Max(next.W+next.B, float64(p-s-1)*f)
+			e := b + math.Max(next.E+next.F, float64(p-s-1)*b)
+			m := math.Max(next.M, f+b)
+			t := w + e + float64(n-p+s)*m
+			if t < best.T {
+				best = State{W: w, E: e, M: m, F: f, B: b, T: t, Split: j, OK: true}
+			}
+		}
+		P[s][i] = best
+	})
+	return cells.Load()
+}
+
+// assembleStates reads the solved table back into a Plan by walking the
+// split chain from the root state.
+func assembleStates(L, p int, P [][]State) (Plan, error) {
+	root := P[0][0]
+	if !root.OK {
+		return Plan{}, fmt.Errorf("partition: no memory-feasible partitioning of %d layers into %d stages", L, p)
+	}
+	plan := Plan{Bounds: make([]int, p+1), Total: root.T, W: root.W, E: root.E, M: root.M}
+	plan.Fwd = make([]float64, p)
+	plan.Bwd = make([]float64, p)
+	at := 0
+	for s := 0; s < p; s++ {
+		plan.Bounds[s] = at
+		st := P[s][at]
+		plan.Fwd[s] = st.F
+		plan.Bwd[s] = st.B
+		at = st.Split + 1
+	}
+	plan.Bounds[p] = L
+	return plan, nil
+}

@@ -8,9 +8,6 @@ package partition
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
-
-	"adapipe/internal/pool"
 )
 
 // CostFn reports the optimal forward and backward times (seconds per
@@ -54,7 +51,12 @@ type Plan struct {
 	Fwd, Bwd []float64
 	// DPCells counts the (stage, start, end) cost evaluations the DP
 	// performed — the search-effort figure the observability layer reports.
+	// A warm-started solve counts only the recomputed levels here.
 	DPCells int
+	// WarmCells counts the cost evaluations represented by DP levels reused
+	// from a warm-start memo instead of being recomputed; nonzero only for
+	// SolveMemo/SolveExactMemo runs that actually reused levels.
+	WarmCells int
 	// FrontierStates is the total number of Pareto states kept across all
 	// DP cells; nonzero only for SolveExact.
 	FrontierStates int
@@ -81,79 +83,9 @@ func Solve(L, p, n int, cost CostFn) (Plan, error) {
 // concurrently and must be safe for concurrent use. workers <= 1 runs the
 // serial path with no goroutines.
 func SolveWorkers(L, p, n int, cost CostFn, workers int) (Plan, error) {
-	if err := check(L, p, n); err != nil {
-		return Plan{}, err
-	}
-	// P[s][i]: best result for layers i..L−1 with stages s..p−1.
-	P := make([][]State, p)
-	for s := range P {
-		P[s] = make([]State, L)
-	}
-
-	// Cell counting is a commutative sum, so an atomic keeps the tally exact
-	// (and deterministic) under any worker interleaving.
-	var cells atomic.Int64
-	// Base case: the last stage takes everything that remains.
-	pool.Run(workers, L, func(_, i int) {
-		cells.Add(1)
-		f, b, ok := cost(p-1, i, L-1)
-		if !ok {
-			return
-		}
-		P[p-1][i] = State{
-			W: f, E: b, M: f + b, F: f, B: b,
-			T:     f + b + float64(n-1)*(f+b),
-			Split: L - 1,
-			OK:    true,
-		}
-	})
-
-	for s := p - 2; s >= 0; s-- {
-		// Stage s must start no later than layer L−(p−s) so every
-		// later stage keeps at least one layer. Each cell i at this level
-		// reads only level s+1 and writes only P[s][i]: race-free sharding.
-		s := s
-		pool.Run(workers, L-p+s+1, func(_, i int) {
-			best := State{T: math.Inf(1)}
-			for j := i; j <= L-p+s; j++ {
-				next := P[s+1][j+1]
-				if !next.OK {
-					continue
-				}
-				cells.Add(1)
-				f, b, ok := cost(s, i, j)
-				if !ok {
-					continue
-				}
-				w := f + math.Max(next.W+next.B, float64(p-s-1)*f)
-				e := b + math.Max(next.E+next.F, float64(p-s-1)*b)
-				m := math.Max(next.M, f+b)
-				t := w + e + float64(n-p+s)*m
-				if t < best.T {
-					best = State{W: w, E: e, M: m, F: f, B: b, T: t, Split: j, OK: true}
-				}
-			}
-			P[s][i] = best
-		})
-	}
-
-	root := P[0][0]
-	if !root.OK {
-		return Plan{}, fmt.Errorf("partition: no memory-feasible partitioning of %d layers into %d stages", L, p)
-	}
-	plan := Plan{Bounds: make([]int, p+1), Total: root.T, W: root.W, E: root.E, M: root.M, DPCells: int(cells.Load())}
-	plan.Fwd = make([]float64, p)
-	plan.Bwd = make([]float64, p)
-	at := 0
-	for s := 0; s < p; s++ {
-		plan.Bounds[s] = at
-		st := P[s][at]
-		plan.Fwd[s] = st.F
-		plan.Bwd[s] = st.B
-		at = st.Split + 1
-	}
-	plan.Bounds[p] = L
-	return plan, nil
+	// A nil memo forces a cold solve: every level is computed from scratch
+	// by the shared level code in incremental.go.
+	return SolveMemo(L, p, n, cost, nil, p-1, workers)
 }
 
 // Evaluate computes the modeled iteration time of an arbitrary partitioning

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"adapipe/internal/core"
+	"adapipe/internal/obs"
+	"adapipe/internal/request"
+)
+
+// Replan-disposition values of the X-Adapipe-Replan response header.
+const (
+	// ReplanWarm marks a replan answered by a warm-started incremental
+	// search on a planner the store already held for the request hash.
+	ReplanWarm = "warm"
+	// ReplanCold marks a replan that first ran the cold search seeding a
+	// warm planner for the hash (the first replan for a training run).
+	ReplanCold = "cold"
+
+	headerReplan = "X-Adapipe-Replan"
+)
+
+// replanEntry is one warm planner and its incumbent plan. mu serializes
+// every use of the planner: replans mutate its memo, iso-cache and scale, so
+// two replans for one hash must run one after the other (they still run
+// concurrently with replans for other hashes, each under its own admission
+// slot).
+type replanEntry struct {
+	mu sync.Mutex
+	// pl is the warm planner; nil until the entry's first (cold) search
+	// completes.
+	// guarded by mu
+	pl *core.Planner
+	// plan is the incumbent — the cold search's plan at first, then the
+	// latest adopted replan.
+	// guarded by mu
+	plan *core.Plan
+}
+
+// plannerStore is a bounded, mutex-guarded LRU of warm planners keyed by
+// plan-request hash. Unlike the response cache it stores live state, not
+// bytes: the planner's partition-DP memo and iso-cache are what make repeat
+// replans for one training run incremental. Eviction drops the planner —
+// the next replan for that hash runs cold again, slower but identical.
+type plannerStore struct {
+	mu  sync.Mutex
+	max int
+	// ll orders entries, front = most recently used.
+	// guarded by mu
+	ll *list.List
+	// items indexes entries by request hash.
+	// guarded by mu
+	items map[string]*list.Element
+}
+
+type plannerStoreEntry struct {
+	key   string
+	entry *replanEntry
+}
+
+func newPlannerStore(max int) *plannerStore {
+	if max <= 0 {
+		max = 1 // a replan endpoint with no store at all could never warm-start
+	}
+	return &plannerStore{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Acquire returns the entry for key, creating it when absent, and reports
+// whether it already existed. The caller locks the entry's own mutex before
+// using the planner; the store lock only covers the map.
+func (ps *plannerStore) Acquire(key string) (*replanEntry, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if el, ok := ps.items[key]; ok {
+		ps.ll.MoveToFront(el)
+		return el.Value.(*plannerStoreEntry).entry, true
+	}
+	e := &replanEntry{}
+	ps.items[key] = ps.ll.PushFront(&plannerStoreEntry{key: key, entry: e})
+	for ps.ll.Len() > ps.max {
+		tail := ps.ll.Back()
+		ps.ll.Remove(tail)
+		delete(ps.items, tail.Value.(*plannerStoreEntry).key)
+	}
+	return e, false
+}
+
+// Len returns the current planner count.
+func (ps *plannerStore) Len() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.ll.Len()
+}
+
+// handleReplan serves POST /v1/replan: parse the replan request, look up (or
+// seed) the warm planner for the inner plan request's hash, and run one
+// straggler replanning round on it. The first replan for a hash runs the
+// cold search that seeds the planner's memo; every later one warm-starts
+// incrementally, which is the point of keeping planners alive between
+// requests. Responses are never cached or coalesced — each replan advances
+// the entry's incumbent, so two replans are never the same computation.
+func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	tr := s.newTracer()
+	reqStart := s.clock()
+	hash, disposition, res := s.replanResult(w, r, tr)
+	reqEnd := s.clock()
+	tr.Add("request", obs.CatRequest, 0, reqStart, reqEnd)
+	s.histRequest.Observe(reqEnd.Sub(reqStart))
+	s.traces.Put(tr)
+	if id := tr.ID(); id != "" {
+		w.Header().Set(headerTrace, id)
+	}
+	if disposition != "" {
+		w.Header().Set(headerReplan, disposition)
+	}
+	s.writeResult(w, hash, "", res)
+	s.logRequest(r, tr.ID(), hash, disposition, res.status, reqEnd.Sub(reqStart))
+}
+
+// replanResult runs a replan request through its phases — decode, queue,
+// replan, encode — recording one CatPhase span per phase.
+func (s *Server) replanResult(w http.ResponseWriter, r *http.Request, tr *obs.Tracer) (hash, disposition string, res flightResult) {
+	decStart := s.clock()
+	req, hash, herr := s.parseReplanRequest(w, r)
+	tr.Add("decode", obs.CatPhase, 0, decStart, s.clock())
+	if herr != nil {
+		return hash, "", errResult(herr.status, herr.msg)
+	}
+	s.replanReqs.Add(1)
+
+	qStart := s.clock()
+	ctx, cancel, admitted := s.admit()
+	defer cancel()
+	qEnd := s.clock()
+	tr.Add("queue", obs.CatPhase, 0, qStart, qEnd)
+	s.histQueue.Observe(qEnd.Sub(qStart))
+	if !admitted {
+		s.rejected.Add(1)
+		return hash, "", errResult(http.StatusServiceUnavailable, "admission queue timeout: server at capacity")
+	}
+	defer s.release()
+
+	entry, existed := s.planners.Acquire(hash)
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	warm := existed && entry.pl != nil
+
+	searchStart := s.clock()
+	body, herr2 := s.runReplan(obs.WithTracer(ctx, tr), req, hash, entry, warm)
+	searchEnd := s.clock()
+	tr.Add("search", obs.CatPhase, 0, searchStart, searchEnd)
+	s.histSearch.Observe(searchEnd.Sub(searchStart))
+	s.searchWallNanos.Add(int64(searchEnd.Sub(searchStart)))
+	if warm {
+		disposition = ReplanWarm
+	} else {
+		disposition = ReplanCold
+	}
+	if herr2 != nil {
+		return hash, disposition, errResult(herr2.status, herr2.msg)
+	}
+	if warm {
+		s.replanWarm.Add(1)
+	} else {
+		s.replanCold.Add(1)
+	}
+	return hash, disposition, flightResult{status: http.StatusOK, body: body}
+}
+
+// runReplan performs the replan itself under the entry lock: seed the
+// planner with a cold search when the entry is fresh, then run one
+// warm-startable replanning round and encode the response. The caller holds
+// entry.mu.
+func (s *Server) runReplan(ctx context.Context, req request.ReplanRequest, hash string, entry *replanEntry, warm bool) ([]byte, *httpError) {
+	if !warm {
+		pl, err := req.Request.NewPlanner(s.cfg.Workers)
+		if err != nil {
+			return nil, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		s.searches.Add(1)
+		s.inFlight.Add(1)
+		plan, err := pl.PlanContext(ctx)
+		s.inFlight.Add(-1)
+		if err != nil {
+			fr := s.searchErrResult(ctx, err)
+			return nil, &httpError{fr.status, "seeding warm planner: " + err.Error()}
+		}
+		entry.pl, entry.plan = pl, plan
+	}
+	pl := entry.pl
+
+	before := pl.StatsSnapshot()
+	s.searches.Add(1)
+	s.inFlight.Add(1)
+	rep, err := pl.ReplanWithScaleContext(ctx, entry.plan, req.Scale)
+	s.inFlight.Add(-1)
+	if err != nil {
+		fr := s.searchErrResult(ctx, err)
+		return nil, &httpError{fr.status, err.Error()}
+	}
+	after := pl.StatsSnapshot()
+	s.knapsackRuns.Add(int64(after.KnapsackRuns - before.KnapsackRuns))
+
+	next := rep.Old
+	if rep.Adopted {
+		next = rep.New
+		entry.plan = rep.New
+		s.replanAdopted.Add(1)
+	}
+	planJSON, err := json.Marshal(next)
+	if err != nil {
+		return nil, &httpError{http.StatusInternalServerError, err.Error()}
+	}
+	resp := request.ReplanResponse{
+		Version:               request.Version,
+		RequestHash:           hash,
+		Adopted:               rep.Adopted,
+		Incremental:           after.ReplanIncremental > before.ReplanIncremental,
+		InvalidatedIsoClasses: after.InvalidatedIsoClasses - before.InvalidatedIsoClasses,
+		WarmStartCells:        after.WarmStartCells - before.WarmStartCells,
+		OldIterSec:            rep.OldSim.IterTime,
+		NewIterSec:            rep.NewSim.IterTime,
+		Plan:                  planJSON,
+	}
+	body, err := resp.Encode()
+	if err != nil {
+		return nil, &httpError{http.StatusInternalServerError, err.Error()}
+	}
+	return body, nil
+}
+
+// parseReplanRequest reads, parses and validates the replan request body,
+// and hashes the inner plan request (the warm-planner identity).
+func (s *Server) parseReplanRequest(w http.ResponseWriter, r *http.Request) (request.ReplanRequest, string, *httpError) {
+	if r.Method != http.MethodPost {
+		return request.ReplanRequest{}, "", &httpError{http.StatusMethodNotAllowed, "replan accepts POST only"}
+	}
+	body, herr := readRequestBody(w, r)
+	if herr != nil {
+		return request.ReplanRequest{}, "", herr
+	}
+	req, err := request.ParseReplanRequest(body)
+	if err != nil {
+		return request.ReplanRequest{}, "", &httpError{http.StatusBadRequest, err.Error()}
+	}
+	hash, err := req.Request.Hash()
+	if err != nil {
+		return request.ReplanRequest{}, "", &httpError{http.StatusBadRequest, err.Error()}
+	}
+	return req, hash, nil
+}

@@ -73,6 +73,11 @@ type Config struct {
 	// then run the nil-tracer hot path and carry no X-Adapipe-Trace
 	// header).
 	TraceBuffer int
+	// PlannerStoreSize bounds the warm-planner store behind POST /v1/replan
+	// in planners (default 64, minimum 1). Each entry keeps a live planner —
+	// its iso-cache and partition-DP memo — so repeat replans for one
+	// training run warm-start instead of searching cold.
+	PlannerStoreSize int
 	// Clock supplies every timestamp the serving layer takes (trace spans,
 	// latency histograms, search-wall counters). Nil selects
 	// core.RealClock(); tests inject a fake for deterministic traces.
@@ -99,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceBuffer == 0 {
 		c.TraceBuffer = 64
 	}
+	if c.PlannerStoreSize <= 0 {
+		c.PlannerStoreSize = 64
+	}
 	if c.Clock == nil {
 		c.Clock = core.RealClock()
 	}
@@ -108,15 +116,16 @@ func (c Config) withDefaults() Config {
 // Server is the planner service. Create it with New, expose it via Handler,
 // and Close it to cancel in-flight searches on shutdown.
 type Server struct {
-	cfg    Config
-	base   context.Context
-	cancel context.CancelFunc
-	sem    chan struct{}
-	cache  *lruCache
-	flight *flightGroup
-	clock  obs.Clock
-	logger *slog.Logger
-	traces *traceStore
+	cfg      Config
+	base     context.Context
+	cancel   context.CancelFunc
+	sem      chan struct{}
+	cache    *lruCache
+	flight   *flightGroup
+	clock    obs.Clock
+	logger   *slog.Logger
+	traces   *traceStore
+	planners *plannerStore
 
 	// planFn runs one search; tests substitute it to script timing.
 	planFn func(ctx context.Context, req request.PlanRequest) (*core.Plan, error)
@@ -124,6 +133,8 @@ type Server struct {
 	planReqs, simReqs              atomic.Int64
 	hits, misses, coalescedCount   atomic.Int64
 	searches, rejected, errorCount atomic.Int64
+	replanReqs, replanWarm         atomic.Int64
+	replanCold, replanAdopted      atomic.Int64
 	inFlight                       atomic.Int64
 	knapsackRuns                   atomic.Int64
 	searchWallNanos                atomic.Int64
@@ -144,15 +155,16 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		base:   base,
-		cancel: cancel,
-		sem:    make(chan struct{}, cfg.MaxInFlight),
-		cache:  newLRUCache(cfg.CacheSize),
-		flight: newFlightGroup(),
-		clock:  cfg.Clock,
-		logger: cfg.Logger,
-		traces: newTraceStore(cfg.TraceBuffer),
+		cfg:      cfg,
+		base:     base,
+		cancel:   cancel,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		cache:    newLRUCache(cfg.CacheSize),
+		flight:   newFlightGroup(),
+		clock:    cfg.Clock,
+		logger:   cfg.Logger,
+		traces:   newTraceStore(cfg.TraceBuffer),
+		planners: newPlannerStore(cfg.PlannerStoreSize),
 	}
 	s.planFn = s.searchPlan
 	return s
@@ -181,6 +193,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/v1/replan", s.handleReplan)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	return mux
 }
@@ -198,6 +211,11 @@ func (s *Server) Stats() obs.ServeStats {
 		Searches:          s.searches.Load(),
 		KnapsackRuns:      s.knapsackRuns.Load(),
 		SearchWallSeconds: time.Duration(s.searchWallNanos.Load()).Seconds(),
+		ReplanRequests:    s.replanReqs.Load(),
+		ReplanIncremental: s.replanWarm.Load(),
+		ReplanCold:        s.replanCold.Load(),
+		ReplanAdopted:     s.replanAdopted.Load(),
+		ReplanPlanners:    int64(s.planners.Len()),
 		InFlight:          s.inFlight.Load(),
 		Rejected:          s.rejected.Load(),
 		Errors:            s.errorCount.Load(),
@@ -462,19 +480,28 @@ type httpError struct {
 	msg    string
 }
 
-// parsePlanRequest reads, parses, validates and hashes the request body (w
-// is needed by MaxBytesReader to arm connection close on overflow).
-func (s *Server) parsePlanRequest(w http.ResponseWriter, r *http.Request) (request.PlanRequest, string, *httpError) {
-	if r.Method != http.MethodPost {
-		return request.PlanRequest{}, "", &httpError{http.StatusMethodNotAllowed, "plan endpoints accept POST only"}
-	}
+// readRequestBody reads a bounded request body (w is needed by MaxBytesReader to
+// arm connection close on overflow).
+func readRequestBody(w http.ResponseWriter, r *http.Request) ([]byte, *httpError) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return request.PlanRequest{}, "", &httpError{http.StatusRequestEntityTooLarge, "request body exceeds 1 MiB"}
+			return nil, &httpError{http.StatusRequestEntityTooLarge, "request body exceeds 1 MiB"}
 		}
-		return request.PlanRequest{}, "", &httpError{http.StatusBadRequest, "reading request body: " + err.Error()}
+		return nil, &httpError{http.StatusBadRequest, "reading request body: " + err.Error()}
+	}
+	return body, nil
+}
+
+// parsePlanRequest reads, parses, validates and hashes the request body.
+func (s *Server) parsePlanRequest(w http.ResponseWriter, r *http.Request) (request.PlanRequest, string, *httpError) {
+	if r.Method != http.MethodPost {
+		return request.PlanRequest{}, "", &httpError{http.StatusMethodNotAllowed, "plan endpoints accept POST only"}
+	}
+	body, herr := readRequestBody(w, r)
+	if herr != nil {
+		return request.PlanRequest{}, "", herr
 	}
 	req, err := request.ParsePlanRequest(body)
 	if err != nil {

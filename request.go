@@ -20,6 +20,14 @@ type (
 	PlanResponse = request.PlanResponse
 	// SimulateResponse is the versioned reply to a simulate request.
 	SimulateResponse = request.SimulateResponse
+	// ReplanRequest is one straggler-driven replanning request: a plan
+	// request identifying the search space plus the observed per-stage
+	// compute-cost multipliers.
+	ReplanRequest = request.ReplanRequest
+	// ReplanResponse is the versioned reply to a replan request; its Plan
+	// field embeds the plan to run next, and Incremental reports whether the
+	// re-search warm-started from the previous search's partition-DP memo.
+	ReplanResponse = request.ReplanResponse
 )
 
 // RequestVersion is the current request/response schema version.
@@ -32,6 +40,15 @@ func ParsePlanRequest(data []byte) (PlanRequest, error) { return request.ParsePl
 
 // ParsePlanResponse decodes a plan response, checking the schema version.
 func ParsePlanResponse(data []byte) (PlanResponse, error) { return request.ParsePlanResponse(data) }
+
+// ParseReplanRequest decodes and validates a replan request from JSON with
+// the same strictness as ParsePlanRequest.
+func ParseReplanRequest(data []byte) (ReplanRequest, error) { return request.ParseReplanRequest(data) }
+
+// ParseReplanResponse decodes a replan response, checking the schema version.
+func ParseReplanResponse(data []byte) (ReplanResponse, error) {
+	return request.ParseReplanResponse(data)
+}
 
 // NewPlannerFromRequest constructs the planner a request describes. workers
 // sizes the search worker pool; it is an execution knob, deliberately outside
