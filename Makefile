@@ -53,11 +53,12 @@ race:
 	$(GO) test -race -run 'Concurrent|Parallel|Workers|Context|Cancel' ./internal/core/... ./internal/partition/...
 
 # bench runs the planner search benchmarks (serial vs parallel, cold and
-# incremental replan) and writes BENCH_planner.json: ns/op for every mode,
-# the measured speedups, and the search-effort counters (knapsack runs,
-# iso-cache hit rate). The committed BENCH_planner.json doubles as the
-# regression baseline: a replan latency more than 25% above it fails the
-# run. CI uploads the refreshed file as an artifact so search-performance
+# incremental replan, grid sweeps cold vs store-warm) and writes
+# BENCH_planner.json: ns/op for every mode, the measured speedups (including
+# the cost store's sweep amortization), and the search-effort counters
+# (knapsack runs, iso-cache hit rate). The committed BENCH_planner.json
+# doubles as the regression baseline: a replan or warm-sweep latency more
+# than 25% above it fails the run. CI uploads the refreshed file as an artifact so search-performance
 # regressions leave a trail.
 bench:
 	$(GO) run ./cmd/planbench -workers 8 -baseline BENCH_planner.json -tolerance 0.25 -o BENCH_planner.json

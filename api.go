@@ -93,19 +93,22 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // NewPlanner validates the inputs, profiles the model analytically and
 // returns a Planner for the given cluster, 3D strategy and training config.
 //
-// Deprecated: prefer building a PlanRequest and calling NewPlannerFromRequest
-// (or PlanContext); the request path is versioned, validated and hashable,
-// and is what the CLI, benchmarks and the adapiped daemon all use. This
-// positional form remains as a thin wrapper and will keep working.
+// Deprecated: build a PlanRequest and call NewPlannerFromRequest (or
+// PlanContext) instead — the request path is versioned, validated and
+// hashable, and is the single construction path the CLI, benchmarks and the
+// adapiped daemon share. The adapipevet depapi analyzer flags in-repo calls;
+// configurations the request schema cannot express (synthetic test clusters)
+// may keep using this wrapper under a reasoned //adapipevet:ignore directive.
 func NewPlanner(m Model, c Cluster, s Strategy, t TrainingConfig, o Options) (*Planner, error) {
 	return core.NewPlanner(m, c, s, t, o)
 }
 
 // PlanAdaPipe runs the full AdaPipe search (adaptive recomputation +
-// adaptive partitioning) with default options. For cancellation, deadlines,
-// or a wire-friendly entry point, build a PlanRequest and use PlanContext.
+// adaptive partitioning) with default options on positional inputs. For
+// cancellation, deadlines, a wire-friendly entry point, or shared cost-store
+// reuse, build a PlanRequest and use PlanContext.
 func PlanAdaPipe(m Model, c Cluster, s Strategy, t TrainingConfig) (*Plan, error) {
-	pl, err := NewPlanner(m, c, s, t, DefaultOptions())
+	pl, err := core.NewPlanner(m, c, s, t, DefaultOptions())
 	if err != nil {
 		return nil, err
 	}

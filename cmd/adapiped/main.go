@@ -10,9 +10,14 @@
 //	POST /v1/plan       plan a request           (cached, coalesced, traced)
 //	POST /v1/simulate   plan + simulate a request
 //	POST /v1/replan     replan under per-stage cost scales (warm-started)
+//	POST /v1/sweep      plan a server-expanded grid of requests (amortized
+//	                    over the shared cost store, ranked by iteration time)
 //	GET  /v1/trace/{id} Chrome trace JSON of a recent request
 //	GET  /healthz       liveness probe
 //	GET  /metrics       Prometheus text exposition (counters + histograms)
+//
+// Every failure response is the canonical error envelope
+// {"error":{"code","message","status"}} with a stable machine-readable code.
 //
 // Example:
 //
@@ -50,6 +55,8 @@ func main() {
 		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget")
 		traces    = flag.Int("trace-buffer", 64, "request-trace ring size served by /v1/trace/{id} (negative disables tracing)")
 		planners  = flag.Int("planner-store", 64, "warm replanner store bound in live planners (evicted replans re-seed cold)")
+		costSize  = flag.Int("cost-store-size", 4096, "shared cost-store bound in entries (negative disables the store)")
+		costPath  = flag.String("cost-store-path", "", "persist the cost store to this snapshot file (loaded on start, saved on drain; empty disables persistence)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 		quiet     = flag.Bool("quiet", false, "disable per-request structured logging")
 	)
@@ -66,6 +73,8 @@ func main() {
 		Workers:          *workers,
 		TraceBuffer:      *traces,
 		PlannerStoreSize: *planners,
+		CostStoreSize:    *costSize,
+		CostStorePath:    *costPath,
 		Logger:           logger,
 	})
 	if *debugAddr != "" {

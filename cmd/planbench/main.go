@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"adapipe/internal/core"
+	"adapipe/internal/coststore"
 	"adapipe/internal/obs"
 	"adapipe/internal/request"
 )
@@ -95,6 +96,60 @@ func benchReplan(workers int, incremental bool) (testing.BenchmarkResult, error)
 	return best, nil
 }
 
+// sweepGrid is the benchmarked sweep: the paper's GPT-3 shape swept over the
+// global batch — three points of one cost family, the /v1/sweep sweet spot.
+var sweepGrid = []int{32, 64, 96}
+
+func sweepPointPlanner(workers, globalBatch int) (*core.Planner, error) {
+	req := request.PlanRequest{
+		Model: "gpt3", Cluster: "a", Method: "AdaPipe",
+		TP: 8, PP: 8, DP: 1, SeqLen: 16384, GlobalBatch: globalBatch,
+	}
+	return req.NewPlanner(workers)
+}
+
+// benchSweep measures one grid pass, cold vs warm. Cold: no cost store — every
+// point pays its own knapsack work, the pre-store per-point price. Warm: all
+// points share one store prewarmed (outside the timed region) by a single
+// point of the family, so each point answers its stage costs from the store —
+// the amortized price every /v1/sweep point after the first pays. The ratio of
+// the two is the store's measured amortization.
+func benchSweep(workers int, warm bool) (testing.BenchmarkResult, error) {
+	var store *coststore.Store
+	if warm {
+		store = coststore.New(0)
+		pl, err := sweepPointPlanner(workers, sweepGrid[0])
+		if err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+		if err := pl.SetCostSource(store); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+		if _, err := pl.Plan(); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, gb := range sweepGrid {
+				pl, err := sweepPointPlanner(workers, gb)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if store != nil {
+					if err := pl.SetCostSource(store); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := pl.Plan(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}), nil
+}
+
 // checkBaseline gates on regressions against a previous report: a measured
 // replan latency above baseline*(1+tolerance) fails the run. A baseline
 // field that is zero was written by an older build and is skipped — absence
@@ -117,7 +172,10 @@ func checkBaseline(baseline obs.BenchReport, report obs.BenchReport, tolerance f
 	if err := check("replan_ns_per_op", baseline.ReplanNsPerOp, report.ReplanNsPerOp); err != nil {
 		return err
 	}
-	return check("replan_incremental_ns_per_op", baseline.ReplanIncrementalNsPerOp, report.ReplanIncrementalNsPerOp)
+	if err := check("replan_incremental_ns_per_op", baseline.ReplanIncrementalNsPerOp, report.ReplanIncrementalNsPerOp); err != nil {
+		return err
+	}
+	return check("sweep_warm_ns_per_point", baseline.SweepWarmNsPerPoint, report.SweepWarmNsPerPoint)
 }
 
 func run(name string, r testing.BenchmarkResult) obs.BenchRun {
@@ -167,6 +225,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "planbench:", err)
 		os.Exit(1)
 	}
+	sweepCold, err := benchSweep(*workers, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planbench:", err)
+		os.Exit(1)
+	}
+	sweepWarm, err := benchSweep(*workers, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planbench:", err)
+		os.Exit(1)
+	}
+	points := int64(len(sweepGrid))
 
 	// One instrumented search ties the wall times to the work they bought.
 	pl, err := gptPlanner(*workers)
@@ -188,6 +257,9 @@ func main() {
 		ReplanNsPerOp:            replan.NsPerOp(),
 		ReplanIncrementalNsPerOp: replanInc.NsPerOp(),
 		SpeedupReplanIncremental: float64(replan.NsPerOp()) / float64(replanInc.NsPerOp()),
+		SweepColdNsPerPoint:      sweepCold.NsPerOp() / points,
+		SweepWarmNsPerPoint:      sweepWarm.NsPerOp() / points,
+		SpeedupSweepWarm:         float64(sweepCold.NsPerOp()) / float64(sweepWarm.NsPerOp()),
 		KnapsackRuns:             pl.Stats.KnapsackRuns,
 		CacheHitRate:             pl.Stats.CacheHitRate(),
 		Runs: []obs.BenchRun{
@@ -195,6 +267,8 @@ func main() {
 			run(fmt.Sprintf("PlanSearch/parallel-%d", *workers), par),
 			run("ReplanWithScale", replan),
 			run("ReplanIncremental", replanInc),
+			run(fmt.Sprintf("SweepGrid/cold-%dpt", points), sweepCold),
+			run(fmt.Sprintf("SweepGrid/warm-%dpt", points), sweepWarm),
 		},
 	}
 	if err := obs.WriteBenchJSON(*out, report); err != nil {
@@ -205,6 +279,9 @@ func main() {
 		time.Duration(serial.NsPerOp()), *workers, time.Duration(par.NsPerOp()),
 		report.SpeedupParallel, report.GoMaxProcs, time.Duration(replan.NsPerOp()),
 		time.Duration(replanInc.NsPerOp()), report.SpeedupReplanIncremental)
+	fmt.Printf("planbench: %d-point sweep cold %v/point, store-warm %v/point (%.1fx amortization)\n",
+		points, time.Duration(report.SweepColdNsPerPoint), time.Duration(report.SweepWarmNsPerPoint),
+		report.SpeedupSweepWarm)
 	fmt.Printf("planbench: wrote %s\n", *out)
 	if haveBaseline {
 		if err := checkBaseline(baseline, report, *tolerance); err != nil {

@@ -4,9 +4,12 @@
 // one search and returns a trace whose spans account for (nearly) all of the
 // request wall time, the trace renders byte-identically across repeated
 // /v1/trace/{id} fetches, the identical repeat plan is a cache hit with a
-// byte-identical body and no extra knapsack work, and SIGTERM drains to a
-// clean exit. Any violation exits non-zero, so `make serve-smoke` is a
-// pass/fail gate.
+// byte-identical body and no extra knapsack work, a 3-point /v1/sweep is
+// amortized by the shared cost store (knapsack runs well under points ×
+// cold-per-point, with the reuse visible as cost-store hits in /metrics) and
+// embeds the cached base plan byte-identically, failures answer with the
+// canonical error envelope, and SIGTERM drains to a clean exit. Any violation
+// exits non-zero, so `make serve-smoke` is a pass/fail gate.
 package main
 
 import (
@@ -89,7 +92,7 @@ func run(daemon string, budget time.Duration, traceOut string) error {
 
 	// 2. Cold plan: one search, disposition "miss", a trace id in the
 	// X-Adapipe-Trace header.
-	cold, disp, traceID, err := postPlan(base)
+	cold, disp, traceID, reqHash, err := postPlan(base)
 	if err != nil {
 		return err
 	}
@@ -98,6 +101,9 @@ func run(daemon string, budget time.Duration, traceOut string) error {
 	}
 	if traceID == "" {
 		return fmt.Errorf("cold plan response carried no X-Adapipe-Trace header")
+	}
+	if reqHash == "" {
+		return fmt.Errorf("cold plan response carried no X-Adapipe-Request-Hash header")
 	}
 	m, err := scrapeMetrics(base)
 	if err != nil {
@@ -143,7 +149,7 @@ func run(daemon string, budget time.Duration, traceOut string) error {
 	fmt.Printf("servesmoke: trace %s deterministic, %.1f%% of request wall accounted\n", traceID, cov*100)
 
 	// 4. Repeat: cache hit, byte-identical body, zero extra search work.
-	warm, disp, _, err := postPlan(base)
+	warm, disp, _, warmHash, err := postPlan(base)
 	if err != nil {
 		return err
 	}
@@ -152,6 +158,9 @@ func run(daemon string, budget time.Duration, traceOut string) error {
 	}
 	if !bytes.Equal(cold, warm) {
 		return fmt.Errorf("cached response differs from cold response:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if warmHash != reqHash {
+		return fmt.Errorf("request hash changed across identical requests: %q -> %q", reqHash, warmHash)
 	}
 	m, err = scrapeMetrics(base)
 	if err != nil {
@@ -170,7 +179,21 @@ func run(daemon string, budget time.Duration, traceOut string) error {
 	}
 	fmt.Println("servesmoke: repeat served from cache, byte-identical, no extra search work")
 
-	// 5. Graceful shutdown on SIGTERM.
+	// 5. Sweep amortization: a global-batch grid over the cached base shares
+	// one cost family, so the whole grid must cost far fewer knapsack runs
+	// than points × cold-per-point, with the reuse visible as cost-store hits
+	// in /metrics. The base point must come back byte-identical to /v1/plan.
+	if err := smokeSweep(base, cold, knapsacks); err != nil {
+		return err
+	}
+
+	// 6. Error envelope: a garbage body answers with the canonical
+	// machine-readable error shape.
+	if err := smokeErrorEnvelope(base); err != nil {
+		return err
+	}
+
+	// 7. Graceful shutdown on SIGTERM.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("signalling daemon: %w", err)
 	}
@@ -183,6 +206,123 @@ func run(daemon string, budget time.Duration, traceOut string) error {
 		return fmt.Errorf("daemon did not exit within budget after SIGTERM\ndaemon output:\n%s", daemonOut.String())
 	}
 	fmt.Println("servesmoke: SIGTERM drained to clean exit")
+	return nil
+}
+
+// smokeSweep posts a 3-point global-batch sweep whose first point is the
+// already-cached cold plan and checks the amortization contract: every point
+// planned or served, the base point byte-identical to the /v1/plan body's
+// plan, and the grid's knapsack cost well under points × cold-per-point.
+func smokeSweep(base string, coldPlanResp []byte, coldKnapsacks float64) error {
+	before, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	sweepBody := `{"base":` + planBody + `,"axes":{"global_batch":[16,32,48]}}`
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/sweep status %d: %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-Adapipe-Cache"); h != "miss" {
+		return fmt.Errorf("cold sweep disposition = %q, want miss", h)
+	}
+	if resp.Header.Get("X-Adapipe-Request-Hash") == "" {
+		return fmt.Errorf("sweep response carried no X-Adapipe-Request-Hash header")
+	}
+	if resp.Header.Get("X-Adapipe-Trace") == "" {
+		return fmt.Errorf("sweep response carried no X-Adapipe-Trace header")
+	}
+	var sweep struct {
+		Points []struct {
+			Plan  json.RawMessage `json:"plan"`
+			Error json.RawMessage `json:"error"`
+		} `json:"points"`
+		Ranking []int `json:"ranking"`
+		Stats   struct {
+			Points, Planned, Deduped, Cached, Failed int
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &sweep); err != nil {
+		return fmt.Errorf("sweep response does not parse: %w\n%s", err, body)
+	}
+	if sweep.Stats.Points != 3 || sweep.Stats.Failed != 0 || len(sweep.Ranking) != 3 {
+		return fmt.Errorf("sweep stats %+v ranking %v, want 3 clean points", sweep.Stats, sweep.Ranking)
+	}
+	if sweep.Stats.Cached < 1 {
+		return fmt.Errorf("the already-planned base point was not served from cache: %+v", sweep.Stats)
+	}
+	// The base grid point must embed exactly the plan bytes /v1/plan returned.
+	var planResp struct {
+		Plan json.RawMessage `json:"plan"`
+	}
+	if err := json.Unmarshal(coldPlanResp, &planResp); err != nil {
+		return err
+	}
+	if !bytes.Equal(sweep.Points[0].Plan, planResp.Plan) {
+		return fmt.Errorf("sweep base point differs from /v1/plan:\nsweep: %s\nplan:  %s", sweep.Points[0].Plan, planResp.Plan)
+	}
+	after, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	delta := after["adapipe_serve_knapsack_runs_total"] - before["adapipe_serve_knapsack_runs_total"]
+	budget := 3 * coldKnapsacks
+	if delta >= budget {
+		return fmt.Errorf("3-point sweep added %v knapsack runs, want < %v (cold-per-point %v): store reuse broken",
+			delta, budget, coldKnapsacks)
+	}
+	if after["adapipe_serve_cost_store_hits_total"] <= before["adapipe_serve_cost_store_hits_total"] {
+		return fmt.Errorf("sweep produced no cost-store hits (%v -> %v)",
+			before["adapipe_serve_cost_store_hits_total"], after["adapipe_serve_cost_store_hits_total"])
+	}
+	if after["adapipe_serve_sweep_requests_total"] < 1 || after["adapipe_serve_sweep_points_total"] < 3 {
+		return fmt.Errorf("sweep counters missing from /metrics (requests %v, points %v)",
+			after["adapipe_serve_sweep_requests_total"], after["adapipe_serve_sweep_points_total"])
+	}
+	fmt.Printf("servesmoke: 3-point sweep amortized (%v knapsack runs added, cold point costs %v)\n", delta, coldKnapsacks)
+	return nil
+}
+
+// smokeErrorEnvelope checks the failure contract from the outside: a garbage
+// body answers 400 with the canonical {"error":{code,message,status}} shape.
+func smokeErrorEnvelope(base string) error {
+	resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("garbage sweep status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		return fmt.Errorf("error response Content-Type %q, want application/json", ct)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Status  int    `json:"status"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("error body is not the canonical envelope: %s", body)
+	}
+	if env.Error.Code != "invalid_request" || env.Error.Status != http.StatusBadRequest || env.Error.Message == "" {
+		return fmt.Errorf("error envelope %+v, want code invalid_request status 400", env.Error)
+	}
+	fmt.Println("servesmoke: error envelope canonical (invalid_request, 400)")
 	return nil
 }
 
@@ -222,20 +362,21 @@ func waitHealthy(base string, deadline time.Time) error {
 	return lastErr
 }
 
-func postPlan(base string) (body []byte, disposition, traceID string, err error) {
+func postPlan(base string) (body []byte, disposition, traceID, requestHash string, err error) {
 	resp, err := http.Post(base+"/v1/plan", "application/json", strings.NewReader(planBody))
 	if err != nil {
-		return nil, "", "", err
+		return nil, "", "", "", err
 	}
 	defer func() { _ = resp.Body.Close() }()
 	body, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, "", "", err
+		return nil, "", "", "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, "", "", fmt.Errorf("/v1/plan status %d: %s", resp.StatusCode, body)
+		return nil, "", "", "", fmt.Errorf("/v1/plan status %d: %s", resp.StatusCode, body)
 	}
-	return body, resp.Header.Get("X-Adapipe-Cache"), resp.Header.Get("X-Adapipe-Trace"), nil
+	return body, resp.Header.Get("X-Adapipe-Cache"), resp.Header.Get("X-Adapipe-Trace"),
+		resp.Header.Get("X-Adapipe-Request-Hash"), nil
 }
 
 // getTrace fetches one stored trace as Chrome trace JSON.

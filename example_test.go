@@ -1,22 +1,27 @@
 package adapipe_test
 
 import (
+	"context"
 	"fmt"
 
 	"adapipe"
 )
 
-// ExamplePlanAdaPipe runs the full AdaPipe search — adaptive recomputation
-// inside adaptive stage partitioning — on the small test model. Plans are
-// deterministic: the same inputs always produce byte-identical plans, which
-// is why the output below can be asserted exactly.
-func ExamplePlanAdaPipe() {
-	plan, err := adapipe.PlanAdaPipe(
-		adapipe.TinyModel(8),
-		adapipe.ClusterA(),
-		adapipe.Strategy{TP: 1, PP: 4, DP: 1},
-		adapipe.TrainingConfig{GlobalBatch: 16, MicroBatch: 1, SeqLen: 1024},
-	)
+// ExamplePlanContext runs the full AdaPipe search — adaptive recomputation
+// inside adaptive stage partitioning — described by a versioned PlanRequest.
+// Plans are deterministic: the same request always produces byte-identical
+// plans, which is why the output below can be asserted exactly.
+func ExamplePlanContext() {
+	req := adapipe.PlanRequest{
+		Model:       "tiny",
+		TP:          1,
+		PP:          4,
+		DP:          1,
+		GlobalBatch: 16,
+		MicroBatch:  1,
+		SeqLen:      1024,
+	}
+	plan, err := adapipe.PlanContext(context.Background(), req, 0)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -34,12 +39,16 @@ func ExamplePlanAdaPipe() {
 // ExampleSimulate executes a searched plan on the discrete-event pipeline
 // simulator under the 1F1B schedule and checks it against device memory.
 func ExampleSimulate() {
-	plan, err := adapipe.PlanAdaPipe(
-		adapipe.TinyModel(8),
-		adapipe.ClusterA(),
-		adapipe.Strategy{TP: 1, PP: 4, DP: 1},
-		adapipe.TrainingConfig{GlobalBatch: 16, MicroBatch: 1, SeqLen: 1024},
-	)
+	req := adapipe.PlanRequest{
+		Model:       "tiny",
+		TP:          1,
+		PP:          4,
+		DP:          1,
+		GlobalBatch: 16,
+		MicroBatch:  1,
+		SeqLen:      1024,
+	}
+	plan, err := adapipe.PlanContext(context.Background(), req, 0)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -61,6 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//adapipevet:ignore depapi synthetic toy cluster with tuned capacity is not expressible in the PlanRequest schema
 	planner, err := adapipe.NewPlanner(m, toyCluster(stages, capacity), strat, tc, toyOptions())
 	if err != nil {
 		log.Fatal(err)
@@ -226,6 +227,7 @@ func elasticPhase(m adapipe.Model, net adapipe.TrainConfig) adapipe.FaultCounter
 		log.Fatal(err)
 	}
 	cluster := elasticCluster(estages, capacity)
+	//adapipevet:ignore depapi elastic toy cluster shapes are not expressible in the PlanRequest schema
 	planner, err := adapipe.NewPlanner(m, cluster, strat, tc, toyOptions())
 	if err != nil {
 		log.Fatal(err)
@@ -383,6 +385,7 @@ func toyCapacity(m adapipe.Model, strat adapipe.Strategy, tc adapipe.TrainingCon
 	opts.Recompute = adapipe.RecomputeNone
 	opts.Partition = adapipe.PartitionEven
 	opts.IgnoreMemoryLimit = true
+	//adapipevet:ignore depapi memory probe needs an unbounded toy cluster the PlanRequest schema cannot express
 	probe, err := adapipe.NewPlanner(m, toyCluster(strat.PP, 1<<40), strat, tc, opts)
 	if err != nil {
 		return 0, err

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -33,9 +34,11 @@ func main() {
 	fmt.Println("\n(the same global batch split over 2 replicas reproduces the DP=1 losses)")
 
 	// Memory-over-time profile of a GPT-3 iteration, CSV for plotting.
-	plan, err := adapipe.PlanAdaPipe(adapipe.GPT3(), adapipe.ClusterA(),
-		adapipe.Strategy{TP: 8, PP: 8, DP: 1},
-		adapipe.TrainingConfig{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384})
+	plan, err := adapipe.PlanContext(context.Background(), adapipe.PlanRequest{
+		Model: "gpt3", Cluster: "a",
+		TP: 8, PP: 8, DP: 1,
+		GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384,
+	}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 // llama2ascend plans Llama 2 70B training on the 32 GB Ascend 910 cluster
 // (cluster B), where memory pressure is much tighter than on the A100s: the
 // no-recomputation baseline OOMs at sequence length 4096 and AdaPipe's
-// per-stage save sets become strongly uneven.
+// per-stage save sets become strongly uneven. Every evaluation goes through
+// the versioned PlanRequest schema, switching only the Method field.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,18 +14,26 @@ import (
 )
 
 func main() {
-	m := adapipe.Llama2()
-	cluster := adapipe.ClusterB()
+	ctx := context.Background()
 	// The paper's cluster-B setting: TP 4, PP 8, batch scaled to DP.
-	strategy := adapipe.Strategy{TP: 4, PP: 8, DP: 4}
-	training := adapipe.TrainingConfig{GlobalBatch: 256, MicroBatch: 1, SeqLen: 4096}
+	req := adapipe.PlanRequest{
+		Model:       "llama2",
+		Cluster:     "b",
+		TP:          4,
+		PP:          8,
+		DP:          4,
+		GlobalBatch: 256,
+		MicroBatch:  1,
+		SeqLen:      4096,
+	}
 
 	for _, name := range []string{"DAPPLE-Full", "DAPPLE-Non", "Even Partitioning", "AdaPipe"} {
-		meth, err := adapipe.MethodByName(name)
+		r := req
+		r.Method = name
+		o, err := adapipe.SimulateContext(ctx, r, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		o := adapipe.Evaluate(meth, m, cluster, strategy, training, adapipe.DefaultOptions())
 		if !o.Feasible() {
 			fmt.Printf("%-18s OOM (32 GiB devices)\n", name)
 			continue
@@ -31,7 +41,7 @@ func main() {
 		fmt.Printf("%-18s %8.2fs  peak %.1f GiB\n", name, o.IterTime, float64(o.Sim.MaxPeakMem())/(1<<30))
 	}
 
-	plan, err := adapipe.PlanAdaPipe(m, cluster, strategy, training)
+	plan, err := adapipe.PlanContext(ctx, req, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,8 +1,12 @@
 // Quickstart: plan GPT-3 175B training on the A100 cluster with AdaPipe and
-// compare the searched plan against the full-recomputation baseline.
+// compare the searched plan against the full-recomputation baseline. The
+// whole flow goes through the versioned PlanRequest API — the same schema the
+// CLI, the benchmarks and the adapiped daemon speak — so this example doubles
+// as a template for driving the planner programmatically.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,14 +14,21 @@ import (
 )
 
 func main() {
-	m := adapipe.GPT3()
-	cluster := adapipe.ClusterA()
-	strategy := adapipe.Strategy{TP: 8, PP: 8, DP: 1}
-	training := adapipe.TrainingConfig{GlobalBatch: 32, MicroBatch: 1, SeqLen: 16384}
+	ctx := context.Background()
+	req := adapipe.PlanRequest{
+		Model:       "gpt3",
+		Cluster:     "a",
+		TP:          8,
+		PP:          8,
+		DP:          1,
+		GlobalBatch: 32,
+		MicroBatch:  1,
+		SeqLen:      16384,
+	}
 
 	// Search: adaptive recomputation (per-stage knapsack) + adaptive
 	// partitioning (stage-boundary DP).
-	plan, err := adapipe.PlanAdaPipe(m, cluster, strategy, training)
+	plan, err := adapipe.PlanContext(ctx, req, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,12 +42,14 @@ func main() {
 	}
 	fmt.Printf("\nsimulated iteration: %.3fs (bubble ratio %.3f)\n", res.IterTime, res.BubbleRatio())
 
-	// Compare against the DAPPLE-Full baseline on the same strategy.
-	baselineMethod, err := adapipe.MethodByName("DAPPLE-Full")
+	// Compare against the DAPPLE-Full baseline on the same strategy: the
+	// same request with only the method switched.
+	baseReq := req
+	baseReq.Method = "DAPPLE-Full"
+	base, err := adapipe.SimulateContext(ctx, baseReq, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := adapipe.Evaluate(baselineMethod, m, cluster, strategy, training, adapipe.DefaultOptions())
 	if !base.Feasible() {
 		log.Fatalf("baseline infeasible: %v", base.Err)
 	}

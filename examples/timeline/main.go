@@ -13,15 +13,20 @@ import (
 )
 
 func main() {
-	m := adapipe.TinyModel(8)
-	cluster := adapipe.ClusterA()
-	strategy := adapipe.Strategy{TP: 1, PP: 4, DP: 1}
-	training := adapipe.TrainingConfig{GlobalBatch: 8, MicroBatch: 1, SeqLen: 2048}
-
-	opts := adapipe.DefaultOptions()
-	opts.Recompute = adapipe.RecomputeFull
-	opts.Partition = adapipe.PartitionEven
-	planner, err := adapipe.NewPlanner(m, cluster, strategy, training, opts)
+	// DAPPLE-Full = full recomputation + even partitioning: the fixed plan
+	// shape that makes the schedule structure easiest to read in the charts.
+	req := adapipe.PlanRequest{
+		Model:       "tiny",
+		Cluster:     "a",
+		Method:      "DAPPLE-Full",
+		TP:          1,
+		PP:          4,
+		DP:          1,
+		GlobalBatch: 8,
+		MicroBatch:  1,
+		SeqLen:      2048,
+	}
+	planner, err := adapipe.NewPlannerFromRequest(req, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,6 +34,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	pp := plan.Strategy.PP
 
 	for _, kind := range []struct {
 		name string
@@ -43,7 +49,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("== %s: iteration %.4fs, bubble ratio %.3f ==\n", kind.name, res.IterTime, res.BubbleRatio())
-		fmt.Print(adapipe.Gantt(res, strategy.PP, 96))
+		fmt.Print(adapipe.Gantt(res, pp, 96))
 	}
 
 	res, err := adapipe.Simulate(plan, adapipe.Sched1F1B, true)

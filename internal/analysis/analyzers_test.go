@@ -17,6 +17,7 @@ func TestCtxPropFixture(t *testing.T)     { RunFixture(t, FixtureDir("ctxprop"),
 func TestLockGuardFixture(t *testing.T)   { RunFixture(t, FixtureDir("lockguard"), LockGuard) }
 func TestDetRandFixture(t *testing.T)     { RunFixture(t, FixtureDir("detrand"), DetRand) }
 func TestIgnoreAuditFixture(t *testing.T) { RunFixture(t, FixtureDir("ignoreaudit"), IgnoreAudit) }
+func TestDepAPIFixture(t *testing.T)      { RunFixture(t, FixtureDir("depapi"), DepAPI) }
 
 // TestAllOrderPinned freezes the suite order: SARIF rule indices and the
 // diagnostic tie-break both follow All(), so reordering would churn every
@@ -25,6 +26,7 @@ func TestAllOrderPinned(t *testing.T) {
 	want := []string{
 		"maporder", "floatcmp", "pipesync", "errcheckcmd",
 		"ctxprop", "lockguard", "detrand", "ignoreaudit",
+		"depapi",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -58,6 +60,8 @@ func TestScopes(t *testing.T) {
 			[]string{"adapipe", "adapipe/internal/sim", "adapipe/cmd/adapipe"}, "ctxprop"},
 		{DetRand, []string{"adapipe/internal/core", "adapipe/internal/request", "adapipe/internal/trace", "adapipe/internal/profile"},
 			[]string{"adapipe", "adapipe/internal/train", "adapipe/cmd/adapipe"}, "detrand"},
+		{DepAPI, []string{"adapipe", "adapipe/cmd/adapipe", "adapipe/cmd/planbench", "adapipe/examples/quickstart", "adapipe/examples/chaos"},
+			[]string{"adapipe/internal/core", "adapipe/internal/request", "adapipe/internal/serve"}, "depapi"},
 	}
 	for _, tc := range cases {
 		for _, p := range tc.in {
@@ -138,7 +142,7 @@ func TestScopesUniversal(t *testing.T) {
 }
 
 // BenchmarkAdapipevet measures a full-repo suite run — load, type-check, and
-// all eight analyzers over every package — so CI logs track the lint gate's
+// every analyzer over every package — so CI logs track the lint gate's
 // wall cost as the suite and the tree grow.
 func BenchmarkAdapipevet(b *testing.B) {
 	root := moduleRoot(b)

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DepAPI flags calls to deprecated API surface. PR 10's façade cleanup left
+// exactly one documented construction path — build a PlanRequest and call
+// NewPlannerFromRequest or PlanContext — with the positional constructor kept
+// only as a deprecated compatibility wrapper. A migration that compiles is
+// not a migration that sticks: new code (especially examples, which readers
+// copy) reaches for the positional form again unless something pushes back.
+// Two rules:
+//
+//  1. a call to any function declared in the same package whose doc comment
+//     carries a "Deprecated:" notice — the standard Go deprecation marker —
+//     is flagged. Doc comments are only visible for the package under
+//     analysis, so this rule is necessarily same-package.
+//  2. a call to the root package's positional NewPlanner from anywhere in
+//     scope (the cmd/ and examples/ trees) is flagged by name: the callee's
+//     package path and identifier are matched through the type checker, so
+//     aliasing or dot-importing does not evade it.
+//
+// Intentional positional construction (the chaos and observe examples build
+// synthetic toy clusters the request schema cannot express) carries an ignore
+// directive with the reason, which ignoreaudit keeps honest.
+var DepAPI = &Analyzer{
+	Name: "depapi",
+	Doc: "flags calls to deprecated constructors: same-package calls to functions " +
+		"documented Deprecated:, and any call to the positional adapipe.NewPlanner — " +
+		"build a PlanRequest and use NewPlannerFromRequest or PlanContext instead",
+	Applies: pathMatcher(
+		[]string{"adapipe"},
+		"cmd/",
+		"examples/",
+		"depapi", // fixture packages
+	),
+	Run: runDepAPI,
+}
+
+// deniedCalls names cross-package deprecated functions by (package path,
+// identifier). Doc comments of imported packages are not available to the
+// type checker, so deprecations that must hold across the repo are listed
+// here explicitly.
+var deniedCalls = map[[2]string]string{
+	{"adapipe", "NewPlanner"}: "build a PlanRequest and use NewPlannerFromRequest or PlanContext",
+}
+
+func runDepAPI(pass *Pass) error {
+	deprecated := localDeprecated(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil {
+				return true
+			}
+			if note, ok := deprecated[callee]; ok {
+				pass.Reportf(call.Pos(), "call to deprecated %s: %s", callee.Name(), note)
+				return true
+			}
+			if callee.Pkg() != nil && callee.Type() != nil {
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() == nil {
+					if hint, ok := deniedCalls[[2]string{callee.Pkg().Path(), callee.Name()}]; ok {
+						pass.Reportf(call.Pos(), "call to deprecated %s.%s: %s",
+							callee.Pkg().Name(), callee.Name(), hint)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// localDeprecated collects the package's own function declarations whose doc
+// comment carries a "Deprecated:" notice, mapped to the first line of that
+// notice (the migration hint shown in the diagnostic).
+func localDeprecated(pass *Pass) map[*types.Func]string {
+	out := map[*types.Func]string{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			note, ok := deprecationNote(fd.Doc)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = note
+			}
+		}
+	}
+	return out
+}
+
+// deprecationNote extracts the first line of a doc comment's "Deprecated:"
+// paragraph, following the convention gopls and staticcheck recognize: the
+// marker must start a line of the comment.
+func deprecationNote(doc *ast.CommentGroup) (string, bool) {
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "Deprecated:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// calleeFunc resolves the called function object, seeing through selector
+// and plain identifier call forms. Method values, conversions and builtins
+// resolve to nil or a non-*types.Func and are skipped by the caller.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// Package depapi is the analysistest fixture for the depapi analyzer.
+package depapi
+
+// Planner is a stand-in for the façade's planner.
+type Planner struct{ n int }
+
+// NewPlannerFromRequest is the blessed construction path.
+func NewPlannerFromRequest(n int) *Planner { return &Planner{n: n} }
+
+// NewPlannerPositional is the legacy constructor.
+//
+// Deprecated: build a request and call NewPlannerFromRequest.
+func NewPlannerPositional(a, b int) *Planner { return &Planner{n: a + b} }
+
+// Reset is a deprecated method; methods carry the marker too.
+//
+// Deprecated: construct a fresh Planner instead.
+func (p *Planner) Reset() { p.n = 0 }
+
+// Grow is fine: the word Deprecated appearing mid-sentence is not the
+// convention marker, which must start a line of the doc comment.
+// It is not deprecated: only a leading "Deprecated:" line counts.
+func (p *Planner) Grow() { p.n++ }
+
+// Blessed uses only the supported path — no findings.
+func Blessed() *Planner {
+	p := NewPlannerFromRequest(3)
+	p.Grow()
+	return p
+}
+
+// Legacy calls the deprecated constructor — flagged.
+func Legacy() *Planner {
+	return NewPlannerPositional(1, 2) // want `call to deprecated NewPlannerPositional: build a request and call NewPlannerFromRequest`
+}
+
+// LegacyMethod calls the deprecated method — flagged.
+func LegacyMethod(p *Planner) {
+	p.Reset() // want `call to deprecated Reset: construct a fresh Planner instead`
+}
+
+// Parenthesized call forms resolve to the same callee — flagged.
+func LegacyParen() *Planner {
+	return (NewPlannerPositional)(3, 4) // want `call to deprecated NewPlannerPositional`
+}
+
+// Suppressed carries a reasoned directive and stays quiet.
+func Suppressed() *Planner {
+	//adapipevet:ignore depapi exercising the legacy wrapper on purpose
+	return NewPlannerPositional(5, 6)
+}
+
+// References without a call are not flagged: deprecation gates new call
+// sites, not mentions (the wrapper itself must stay linkable).
+var constructor = NewPlannerPositional

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"adapipe/internal/coststore"
 	"adapipe/internal/obs"
 	"adapipe/internal/pool"
 	"adapipe/internal/recompute"
@@ -58,6 +59,7 @@ func (pl *Planner) prefillCosts(ctx context.Context, workers int) error {
 	var tasks []prefillTask
 	var solvers []*recompute.Solver
 	pl.mu.Lock()
+	src, family := pl.source, pl.family
 	seen := make(map[costKey]bool, len(pl.cache))
 	add := func(s, i, j int) {
 		key := pl.isoKey(s, i, j)
@@ -121,7 +123,24 @@ func (pl *Planner) prefillCosts(ctx context.Context, workers int) error {
 	runErr := pool.RunContext(ctx, workers, len(tasks), func(w, i int) {
 		t := tasks[i]
 		start := pl.clock()
-		results[i] = pl.solveStage(t.s, t.i, t.j, solvers[w], &statsW[w])
+		if src != nil {
+			// Route the solve through the shared store: concurrent planners
+			// of one family prefilling at once compute each key exactly once
+			// between them (singleflight), and a warm store turns the whole
+			// prefill into lookups. Per-worker hit/miss tallies ride the
+			// stats shards and merge with the rest.
+			e, disp := src.GetOrCompute(storeKeyFor(family, t.key), func() coststore.Entry {
+				return entryFromCost(pl.solveStage(t.s, t.i, t.j, solvers[w], &statsW[w]))
+			})
+			results[i] = costFromEntry(e)
+			if disp == coststore.Computed {
+				statsW[w].StoreMisses++
+			} else {
+				statsW[w].StoreHits++
+			}
+		} else {
+			results[i] = pl.solveStage(t.s, t.i, t.j, solvers[w], &statsW[w])
+		}
 		done[i] = true
 		busy[w] += pl.clock().Sub(start)
 	})
@@ -152,6 +171,8 @@ func (pl *Planner) prefillCosts(ctx context.Context, workers int) error {
 		pl.Stats.KnapsackCells += statsW[w].KnapsackCells
 		pl.Stats.QuantaBeforeGCD += statsW[w].QuantaBeforeGCD
 		pl.Stats.QuantaAfterGCD += statsW[w].QuantaAfterGCD
+		pl.Stats.StoreHits += statsW[w].StoreHits
+		pl.Stats.StoreMisses += statsW[w].StoreMisses
 		pl.Stats.ParallelBusy += busy[w]
 	}
 	pl.Stats.ParallelWall += wall

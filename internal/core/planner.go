@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"adapipe/internal/coststore"
 	"adapipe/internal/hardware"
 	"adapipe/internal/memory"
 	"adapipe/internal/model"
@@ -243,9 +244,20 @@ type Planner struct {
 	// planner are safe (TestPlannerConcurrent); the heavy solves run
 	// outside the lock in the prefill workers.
 	mu sync.Mutex
-	// cache memoizes per-range stage costs across Plan calls.
+	// cache memoizes per-range stage costs across Plan calls. It is the
+	// first-level cache even when a shared CostSource is attached: local
+	// lookups stay a plain map access, and only misses pay for key hashing.
 	// guarded by mu
 	cache map[costKey]stageCost
+	// source, when non-nil, is the shared second-level cost store consulted
+	// on local cache misses (SetCostSource); family is the 32-byte
+	// fingerprint prefixing this planner's store keys. Both are set before
+	// the first Plan and never change while a search runs.
+	// guarded by mu
+	source CostSource
+	// family is the cost-family fingerprint of this planner's store keys.
+	// guarded by mu
+	family []byte
 	// scale holds per-stage compute-cost multipliers (nil = all 1), set by
 	// SetStageScale when a live run observes a degraded stage. Applied on
 	// top of the cache, which stores nominal costs only. The slice is
@@ -439,14 +451,36 @@ func (pl *Planner) stageCostFor(tr *obs.Tracer, s, i, j int) stageCost {
 // returns the cached nominal cost entry, solving and caching on a miss.
 // Searches use it with a scale snapshot taken at claim time, so one solve
 // sees one consistent repricing even if SetStageScale races it.
+//
+// With a CostSource attached, a local miss consults the shared store before
+// (or instead of) solving: the store runs the compute closure exactly once
+// per key process-wide, so the planner either solves and publishes, or
+// adopts another planner's identical solve. Either way the result lands in
+// the local cache, keeping later lookups hash-free.
 func (pl *Planner) stageCostNominal(tr *obs.Tracer, s, i, j int) stageCost {
 	pl.mu.Lock()
 	pl.Stats.CostEvaluations++
 	key := pl.isoKey(s, i, j)
 	c, hit := pl.cache[key]
-	if hit {
+	switch {
+	case hit:
 		pl.Stats.CacheHits++
-	} else {
+	case pl.source != nil:
+		e, disp := pl.source.GetOrCompute(storeKeyFor(pl.family, key), func() coststore.Entry {
+			// Serial solves render on track 0 next to the request phases.
+			pl.solver.Trace = tr
+			c := pl.solveStage(s, i, j, pl.solver, &pl.Stats)
+			pl.solver.Trace = nil
+			return entryFromCost(c)
+		})
+		c = costFromEntry(e)
+		if disp == coststore.Computed {
+			pl.Stats.StoreMisses++
+		} else {
+			pl.Stats.StoreHits++
+		}
+		pl.cache[key] = c
+	default:
 		// Serial solves render on track 0 next to the request phases.
 		pl.solver.Trace = tr
 		c = pl.solveStage(s, i, j, pl.solver, &pl.Stats)

@@ -22,6 +22,12 @@ type SearchStats struct {
 	CacheHits int
 	// CostEvaluations counts all stage-cost lookups (hits + misses).
 	CostEvaluations int
+	// StoreHits counts local-cache misses served by the shared cost store
+	// (a stored entry or another planner's in-flight solve) — cross-request
+	// reuse the store bought this planner. StoreMisses counts the solves
+	// this planner ran itself and published. Both stay zero without an
+	// attached CostSource.
+	StoreHits, StoreMisses int
 	// KnapsackCells is the total knapsack DP table size filled across all
 	// runs (pseudo-items × capacity states).
 	KnapsackCells int64
@@ -71,6 +77,16 @@ func (s SearchStats) CacheHitRate() float64 {
 	return float64(s.CacheHits) / float64(s.CostEvaluations)
 }
 
+// StoreHitRate returns the fraction of shared-store lookups served without a
+// fresh solve, in [0, 1]; 0 when no CostSource was attached.
+func (s SearchStats) StoreHitRate() float64 {
+	total := s.StoreHits + s.StoreMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.StoreHits) / float64(total)
+}
+
 // GCDReduction returns the average factor by which the §5.3 GCD reduction
 // shrank the knapsack capacity (1 means no reduction or no DP run).
 func (s SearchStats) GCDReduction() float64 {
@@ -102,6 +118,10 @@ func (s SearchStats) String() string {
 		fmt.Fprintf(&b, ", %d incremental replans (%d classes invalidated, %d cells warm)",
 			s.ReplanIncremental, s.InvalidatedIsoClasses, s.WarmStartCells)
 	}
+	if s.StoreHits+s.StoreMisses > 0 {
+		fmt.Fprintf(&b, ", %.0f%% shared-store hits (%d of %d lookups)",
+			100*s.StoreHitRate(), s.StoreHits, s.StoreHits+s.StoreMisses)
+	}
 	if s.Workers > 1 {
 		fmt.Fprintf(&b, ", %d workers (%.1fx effective parallelism)", s.Workers, s.ParallelSpeedup())
 	}
@@ -130,5 +150,8 @@ func (s SearchStats) PromMetrics(prefix string) []obs.Metric {
 		{Name: prefix + "_replans_incremental", Help: "searches served by the warm-started incremental fast path", Value: float64(s.ReplanIncremental)},
 		{Name: prefix + "_invalidated_iso_classes", Help: "iso-cache classes invalidated by stage-scale changes across warm-started searches", Value: float64(s.InvalidatedIsoClasses)},
 		{Name: prefix + "_warm_start_cells", Help: "partition DP cost evaluations reused from warm-start memos", Value: float64(s.WarmStartCells)},
+		{Name: prefix + "_store_hits", Help: "iso-cache misses served by the shared cost store (cross-request reuse)", Value: float64(s.StoreHits)},
+		{Name: prefix + "_store_misses", Help: "shared-store lookups this planner had to solve itself", Value: float64(s.StoreMisses)},
+		{Name: prefix + "_store_hit_rate", Help: "fraction of shared-store lookups served without a fresh solve", Value: s.StoreHitRate()},
 	}
 }

@@ -1,0 +1,286 @@
+// Package coststore is the shared, content-addressed stage-cost store behind
+// fleet-scale serving: one Store holds the solved per-(stage, iso-class)
+// knapsack entries of every planner a daemon constructs, so near-duplicate
+// requests — the same model family swept over cluster shapes, micro-batch
+// counts or memory budgets — pay for each knapsack exactly once across the
+// whole process instead of once per planner.
+//
+// Entries are addressed by a 32-byte SHA-256 key the planner derives from the
+// full content of the solve: the synthesized cost profile (unit times, saved
+// bytes, boundary payload), the 3D strategy, the memory model and budget, the
+// quantum and search flags, and the (stage, iso-class) range — see
+// core.CostSource. Two planners whose keys collide are, by construction,
+// asking for the same pure function of the same inputs, which is what makes
+// sharing sound: a stored entry is byte-for-byte the entry the consumer would
+// have solved itself, so plans built from store hits are identical to plans
+// built cold (proved end to end by TestCostStorePlanMatchesSeed).
+//
+// The store is sharded 16 ways (key byte 0 selects the shard) so concurrent
+// prefill workers from many planners do not serialize on one mutex. Each
+// shard bounds its memory with an LRU list and runs singleflight on misses:
+// when N planners ask for one missing key at once, one computes and N-1 wait
+// and share, which is the §5.3 iso-class amortization lifted from "within one
+// search" to "across all requests of the process".
+//
+// A store can persist itself: SaveSnapshot writes a deterministic,
+// version-stamped, checksummed JSON snapshot (sorted by key, so two saves of
+// one population are byte-identical) and LoadSnapshot restores it, giving a
+// restarted daemon a warm substrate (cmd/adapiped -cost-store-path).
+package coststore
+
+import (
+	"container/list"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"adapipe/internal/memory"
+	"adapipe/internal/recompute"
+)
+
+// Key is the 32-byte content address of one cost entry (a SHA-256 over the
+// canonical solve inputs; the planner computes it, the store never inspects
+// it beyond shard selection).
+type Key [32]byte
+
+// String returns the lowercase-hex form of the key.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the lowercase-hex form produced by String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("coststore: invalid key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Entry is one solved stage cost in its shareable form: the modeled forward
+// and backward times, the chosen recomputation solution, the memory breakdown
+// and the feasibility verdict — exactly the fields the planner caches
+// per iso-class. Entries are immutable once stored; consumers must not
+// mutate the Solution's Saved map.
+type Entry struct {
+	// Fwd and Bwd are the modeled per-micro-batch stage times in seconds
+	// (Bwd includes the recomputation overhead of the chosen strategy).
+	Fwd, Bwd float64
+	// Sol is the chosen save/recompute strategy.
+	Sol recompute.Solution
+	// Mem is the modeled peak memory.
+	Mem memory.Breakdown
+	// OK reports memory feasibility.
+	OK bool
+}
+
+// Disposition classifies how GetOrCompute satisfied a lookup.
+type Disposition int
+
+const (
+	// Computed means the caller ran the solve itself (a cold miss).
+	Computed Disposition = iota
+	// Hit means the entry was already stored.
+	Hit
+	// Shared means the caller waited on another caller's in-flight solve
+	// for the same key (singleflight).
+	Shared
+)
+
+// String returns the disposition name.
+func (d Disposition) String() string {
+	switch d {
+	case Computed:
+		return "computed"
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	default:
+		return fmt.Sprintf("Disposition(%d)", int(d))
+	}
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// Hits counts lookups served by a stored entry, and Shared the lookups
+	// that piggybacked on another caller's in-flight solve; both are
+	// knapsack runs the store saved. Misses counts the solves that actually
+	// ran (the cold path).
+	Hits, Misses, Shared int64
+	// Evictions counts entries the per-shard LRU bound pushed out.
+	Evictions int64
+	// Entries is the current population across all shards.
+	Entries int64
+}
+
+// HitRate returns the fraction of lookups the store answered without a fresh
+// solve (hits + shared over all lookups), in [0, 1].
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Shared + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// numShards is the fixed shard count; key byte 0 (uniform, it is SHA-256
+// output) selects the shard, so one mutex never serializes all planners.
+const numShards = 16
+
+// Store is a concurrency-safe, sharded, LRU-bounded cost store. The zero
+// value is not usable; construct with New.
+type Store struct {
+	shards   [numShards]shard
+	perShard int
+
+	hits, misses, shared, evictions atomic.Int64
+}
+
+// shard is one lock domain: an LRU-ordered map of entries plus the in-flight
+// singleflight calls for missing keys.
+type shard struct {
+	mu sync.Mutex
+	// ll orders stored entries, front = most recently used.
+	// guarded by mu
+	ll *list.List
+	// items indexes ll's elements (*storedEntry values) by key.
+	// guarded by mu
+	items map[Key]*list.Element
+	// calls holds the in-flight singleflight computation per missing key.
+	// guarded by mu
+	calls map[Key]*call
+}
+
+type storedEntry struct {
+	key   Key
+	entry Entry
+}
+
+// call is one in-flight computation: waiters block on done; ok is false when
+// the leader's compute panicked, telling waiters to retry (and possibly lead).
+type call struct {
+	done  chan struct{}
+	entry Entry
+	ok    bool
+}
+
+// New builds a store bounding roughly max entries across all shards (each
+// shard holds max/16, minimum 1). max <= 0 selects the default of 4096.
+func New(max int) *Store {
+	if max <= 0 {
+		max = 4096
+	}
+	per := max / numShards
+	if per < 1 {
+		per = 1
+	}
+	st := &Store{perShard: per}
+	for i := range st.shards {
+		st.shards[i].ll = list.New()
+		st.shards[i].items = make(map[Key]*list.Element)
+		st.shards[i].calls = make(map[Key]*call)
+	}
+	return st
+}
+
+// GetOrCompute returns the entry for key, computing and storing it via
+// compute when absent. Concurrent callers for one missing key run compute
+// exactly once: the first caller leads, the rest block and share the result
+// (Shared). compute must be a pure function of the key's content — the store
+// hands its result to every waiter and to all future lookups verbatim.
+//
+// An abandoned compute (panic) stores nothing; waiters retry, so the store
+// never holds partial entries — a property the cancellation-mid-sweep tests
+// rely on (an aborted request leaves the store clean or fully correct, never
+// poisoned).
+func (st *Store) GetOrCompute(key Key, compute func() Entry) (Entry, Disposition) {
+	sh := &st.shards[key[0]%numShards]
+	for {
+		sh.mu.Lock()
+		if el, ok := sh.items[key]; ok {
+			sh.ll.MoveToFront(el)
+			e := el.Value.(*storedEntry).entry
+			sh.mu.Unlock()
+			st.hits.Add(1)
+			return e, Hit
+		}
+		if c, ok := sh.calls[key]; ok {
+			sh.mu.Unlock()
+			<-c.done
+			if c.ok {
+				st.shared.Add(1)
+				return c.entry, Shared
+			}
+			// The leader abandoned the solve; go around and try again
+			// (possibly becoming the new leader).
+			continue
+		}
+		c := &call{done: make(chan struct{})}
+		sh.calls[key] = c
+		sh.mu.Unlock()
+		st.misses.Add(1)
+		st.lead(sh, key, c, compute)
+		return c.entry, Computed
+	}
+}
+
+// lead runs the singleflight leader's compute. The deferred cleanup runs even
+// when compute panics: the call is deregistered and done is closed so waiters
+// never hang, and only a completed solve is stored.
+func (st *Store) lead(sh *shard, key Key, c *call, compute func() Entry) {
+	defer func() {
+		sh.mu.Lock()
+		delete(sh.calls, key)
+		if c.ok {
+			st.insertLocked(sh, key, c.entry)
+		}
+		sh.mu.Unlock()
+		close(c.done)
+	}()
+	c.entry = compute()
+	c.ok = true
+}
+
+// insertLocked stores an entry and enforces the shard's LRU bound. The
+// caller holds sh.mu. First write wins: a racing duplicate insert (possible
+// after a snapshot load) only refreshes recency.
+func (st *Store) insertLocked(sh *shard, key Key, e Entry) {
+	if el, ok := sh.items[key]; ok {
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.items[key] = sh.ll.PushFront(&storedEntry{key: key, entry: e})
+	for sh.ll.Len() > st.perShard {
+		tail := sh.ll.Back()
+		sh.ll.Remove(tail)
+		delete(sh.items, tail.Value.(*storedEntry).key)
+		st.evictions.Add(1)
+	}
+}
+
+// Len returns the current entry count across all shards.
+func (st *Store) Len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// StatsSnapshot returns a consistent-enough snapshot of the counters (each
+// counter is read atomically; the set is not a single atomic cut, which is
+// fine for monitoring).
+func (st *Store) StatsSnapshot() Stats {
+	return Stats{
+		Hits:      st.hits.Load(),
+		Misses:    st.misses.Load(),
+		Shared:    st.shared.Load(),
+		Evictions: st.evictions.Load(),
+		Entries:   int64(st.Len()),
+	}
+}

@@ -1,0 +1,281 @@
+package coststore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"adapipe/internal/recompute"
+)
+
+func testKey(i int) Key {
+	var k Key
+	k[0] = byte(i)
+	k[1] = byte(i >> 8)
+	k[31] = 0xAB
+	return k
+}
+
+func testEntry(i int) Entry {
+	return Entry{
+		Fwd: float64(i) * 1.5,
+		Bwd: float64(i) * 3.25,
+		Sol: recompute.Solution{Feasible: true, SavedTime: float64(i), SavedBytes: int64(i), Saved: map[string]int{"attn": i}},
+		OK:  i%2 == 0,
+	}
+}
+
+func TestGetOrComputeComputesOnce(t *testing.T) {
+	st := New(64)
+	k := testKey(1)
+	calls := 0
+	e, disp := st.GetOrCompute(k, func() Entry { calls++; return testEntry(1) })
+	if disp != Computed || calls != 1 {
+		t.Fatalf("first lookup: disposition %v, %d compute calls; want computed once", disp, calls)
+	}
+	if e.Fwd != 1.5 || e.Bwd != 3.25 {
+		t.Fatalf("entry round-trip: got %+v", e)
+	}
+	e2, disp2 := st.GetOrCompute(k, func() Entry { calls++; return testEntry(99) })
+	if disp2 != Hit || calls != 1 {
+		t.Fatalf("second lookup: disposition %v, %d compute calls; want hit without recompute", disp2, calls)
+	}
+	if e2.Fwd != e.Fwd || e2.Sol.Saved["attn"] != 1 {
+		t.Fatalf("hit returned a different entry: %+v", e2)
+	}
+	if got := st.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 16 entries total = 1 per shard; two same-shard keys evict the older.
+	st := New(16)
+	a, b := testKey(0x10), testKey(0x20)
+	a[0], b[0] = 3, 3 // same shard
+	b[1] = 99         // different key
+	st.GetOrCompute(a, func() Entry { return testEntry(1) })
+	st.GetOrCompute(b, func() Entry { return testEntry(2) })
+	if got := st.Len(); got != 1 {
+		t.Fatalf("Len = %d after overflow, want 1", got)
+	}
+	if s := st.StatsSnapshot(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	// a was evicted: looking it up computes again.
+	if _, disp := st.GetOrCompute(a, func() Entry { return testEntry(1) }); disp != Computed {
+		t.Fatalf("evicted key came back as %v, want computed", disp)
+	}
+}
+
+func TestSingleflightSharesOneCompute(t *testing.T) {
+	st := New(1024)
+	k := testKey(7)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	dispositions := make([]Disposition, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			_, d := st.GetOrCompute(k, func() Entry {
+				computes.Add(1)
+				return testEntry(7)
+			})
+			dispositions[i] = d
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times under contention, want exactly 1", got)
+	}
+	var computed, shared, hit int
+	for _, d := range dispositions {
+		switch d {
+		case Computed:
+			computed++
+		case Shared:
+			shared++
+		case Hit:
+			hit++
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d leaders, want 1 (shared %d, hit %d)", computed, shared, hit)
+	}
+	s := st.StatsSnapshot()
+	if s.Misses != 1 || s.Hits+s.Shared != waiters-1 {
+		t.Fatalf("stats %+v inconsistent with %d lookups", s, waiters)
+	}
+}
+
+func TestAbandonedComputeRetries(t *testing.T) {
+	st := New(64)
+	k := testKey(3)
+	func() {
+		defer func() { recover() }()
+		st.GetOrCompute(k, func() Entry { panic("solver died") })
+	}()
+	if got := st.Len(); got != 0 {
+		t.Fatalf("store holds %d entries after a panicked compute, want 0 (complete-or-absent)", got)
+	}
+	e, disp := st.GetOrCompute(k, func() Entry { return testEntry(3) })
+	if disp != Computed || e.Fwd != testEntry(3).Fwd {
+		t.Fatalf("retry after abandoned compute: disposition %v entry %+v", disp, e)
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	st := New(64)
+	for i := 0; i < 4; i++ {
+		st.GetOrCompute(testKey(i), func() Entry { return testEntry(i) })
+	}
+	for i := 0; i < 4; i++ {
+		st.GetOrCompute(testKey(i), func() Entry { t.Fatal("recompute on hit"); return Entry{} })
+	}
+	s := st.StatsSnapshot()
+	if s.Hits != 4 || s.Misses != 4 || s.Entries != 4 {
+		t.Fatalf("stats %+v, want 4 hits, 4 misses, 4 entries", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %g, want 0.5", got)
+	}
+}
+
+func TestKeyStringRoundTrip(t *testing.T) {
+	k := testKey(0x1234)
+	parsed, err := ParseKey(k.String())
+	if err != nil || parsed != k {
+		t.Fatalf("round trip: %v, %v", parsed, err)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Fatal("ParseKey accepted garbage")
+	}
+	if _, err := ParseKey("abcd"); err == nil {
+		t.Fatal("ParseKey accepted a short key")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	st := New(1024)
+	for i := 0; i < 20; i++ {
+		st.GetOrCompute(testKey(i), func() Entry { return testEntry(i) })
+	}
+	if err := st.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(1024)
+	if err := fresh.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != st.Len() {
+		t.Fatalf("restored %d entries, saved %d", fresh.Len(), st.Len())
+	}
+	for i := 0; i < 20; i++ {
+		e, disp := fresh.GetOrCompute(testKey(i), func() Entry {
+			t.Fatalf("restored store recomputed key %d", i)
+			return Entry{}
+		})
+		if disp != Hit {
+			t.Fatalf("key %d: disposition %v, want hit", i, disp)
+		}
+		want := testEntry(i)
+		if e.Fwd != want.Fwd || e.Bwd != want.Bwd || e.OK != want.OK || e.Sol.Saved["attn"] != i {
+			t.Fatalf("key %d: restored entry %+v differs from saved %+v", i, e, want)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	st := New(1024)
+	for i := 0; i < 10; i++ {
+		st.GetOrCompute(testKey(i), func() Entry { return testEntry(i) })
+	}
+	if err := st.SaveSnapshot(p1); err != nil {
+		t.Fatal(err)
+	}
+	// Perturb recency, then save again: recency must not leak into the bytes.
+	st.GetOrCompute(testKey(3), func() Entry { return testEntry(3) })
+	if err := st.SaveSnapshot(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("two saves of one population differ byte-for-byte")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := New(16).SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(16)
+	if err := fresh.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("restored empty snapshot has %d entries", fresh.Len())
+	}
+}
+
+func TestSnapshotRejectsCorruptionAndVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	st := New(64)
+	st.GetOrCompute(testKey(1), func() Entry { return testEntry(1) })
+	if err := st.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte: checksum must catch it.
+	corrupt := strings.Replace(string(data), `"Fwd":1.5`, `"Fwd":9.5`, 1)
+	if corrupt == string(data) {
+		t.Fatal("test setup: payload substring not found")
+	}
+	cp := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(cp, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(64).LoadSnapshot(cp); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt snapshot loaded: %v", err)
+	}
+
+	// Version skew must be rejected before any decoding.
+	skew := strings.Replace(string(data), fmt.Sprintf(`"version":%d`, SnapshotVersion), `"version":999`, 1)
+	vp := filepath.Join(dir, "skew.json")
+	if err := os.WriteFile(vp, []byte(skew), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(64).LoadSnapshot(vp); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-skewed snapshot loaded: %v", err)
+	}
+
+	// A missing file surfaces as os.IsNotExist so daemons can start cold.
+	if err := New(64).LoadSnapshot(filepath.Join(dir, "nope.json")); !os.IsNotExist(err) {
+		t.Fatalf("missing snapshot: err = %v, want IsNotExist", err)
+	}
+}

@@ -51,6 +51,17 @@ type BenchReport struct {
 	// SpeedupReplanIncremental is cold replan ns/op divided by incremental
 	// replan ns/op.
 	SpeedupReplanIncremental float64 `json:"speedup_replan_incremental"`
+	// SweepColdNsPerPoint is the per-point latency of a grid sweep against a
+	// fresh cost store: every point pays its own knapsack work. Zero in
+	// reports written before the cost store existed.
+	SweepColdNsPerPoint int64 `json:"sweep_cold_ns_per_point"`
+	// SweepWarmNsPerPoint is the per-point latency of the same grid against a
+	// store prewarmed by one point of the family — the amortized cost a
+	// /v1/sweep pays after its first point. Zero in older reports.
+	SweepWarmNsPerPoint int64 `json:"sweep_warm_ns_per_point"`
+	// SpeedupSweepWarm is cold sweep ns/point divided by warm sweep ns/point —
+	// the measured amortization the shared cost store buys a grid.
+	SpeedupSweepWarm float64 `json:"speedup_sweep_warm"`
 	// KnapsackRuns and CacheHitRate are the search-effort counters of one
 	// full search (parallel mode), tying the wall-time figures to the work
 	// they bought.

@@ -34,6 +34,22 @@ type ServeStats struct {
 	InFlight, Rejected int64
 	// Errors counts requests answered with a non-2xx status.
 	Errors int64
+	// SweepRequests counts accepted POST /v1/sweep requests; SweepPoints the
+	// grid points they expanded to. Of those points, SweepPointsPlanned ran a
+	// fresh search, SweepPointsDeduped copied an earlier duplicate point's
+	// result, SweepPointsCached came from the response cache, and
+	// SweepPointsFailed produced a per-point error.
+	SweepRequests, SweepPoints             int64
+	SweepPointsPlanned, SweepPointsDeduped int64
+	SweepPointsCached, SweepPointsFailed   int64
+	// CostStoreEntries is the shared cost store's population;
+	// CostStoreHits/CostStoreMisses/CostStoreShared split its lookups into
+	// stored-entry hits, leader solves and in-flight shares, and
+	// CostStoreEvictions counts entries the LRU bound pushed out. All zero
+	// when the store is disabled.
+	CostStoreEntries                    int64
+	CostStoreHits, CostStoreMisses      int64
+	CostStoreShared, CostStoreEvictions int64
 }
 
 // ServeMetrics converts a serving snapshot into Prometheus gauges under the
@@ -59,5 +75,16 @@ func ServeMetrics(prefix string, s ServeStats) []Metric {
 		{Name: prefix + "_in_flight", Help: "searches currently holding an admission slot", Value: float64(s.InFlight)},
 		{Name: prefix + "_rejected_total", Help: "requests that timed out waiting for admission", Value: float64(s.Rejected)},
 		{Name: prefix + "_errors_total", Help: "requests answered with a non-2xx status", Value: float64(s.Errors)},
+		{Name: prefix + "_sweep_requests_total", Help: "accepted sweep requests", Value: float64(s.SweepRequests)},
+		{Name: prefix + "_sweep_points_total", Help: "grid points expanded across all sweeps", Value: float64(s.SweepPoints)},
+		{Name: prefix + "_sweep_points_planned_total", Help: "sweep points that ran a fresh search", Value: float64(s.SweepPointsPlanned)},
+		{Name: prefix + "_sweep_points_deduped_total", Help: "sweep points served by copying a duplicate point's result", Value: float64(s.SweepPointsDeduped)},
+		{Name: prefix + "_sweep_points_cached_total", Help: "sweep points served from the response cache", Value: float64(s.SweepPointsCached)},
+		{Name: prefix + "_sweep_points_failed_total", Help: "sweep points that produced a per-point error", Value: float64(s.SweepPointsFailed)},
+		{Name: prefix + "_cost_store_entries", Help: "entries currently held by the shared cost store", Value: float64(s.CostStoreEntries)},
+		{Name: prefix + "_cost_store_hits_total", Help: "cost-store lookups served by a stored entry", Value: float64(s.CostStoreHits)},
+		{Name: prefix + "_cost_store_misses_total", Help: "cost-store lookups that led a fresh solve", Value: float64(s.CostStoreMisses)},
+		{Name: prefix + "_cost_store_shared_total", Help: "cost-store lookups that shared another planner's in-flight solve", Value: float64(s.CostStoreShared)},
+		{Name: prefix + "_cost_store_evictions_total", Help: "cost-store entries evicted by the LRU bound", Value: float64(s.CostStoreEvictions)},
 	}
 }

@@ -1,0 +1,84 @@
+package request
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical machine-readable error codes of the v1 HTTP API. Every /v1/*
+// failure response carries exactly one of these in its envelope; clients
+// branch on the code, never on the human-readable message.
+const (
+	// ErrCodeInvalidRequest marks a request the server could not parse or
+	// validate (HTTP 400).
+	ErrCodeInvalidRequest = "invalid_request"
+	// ErrCodeMethodNotAllowed marks a request using the wrong HTTP method
+	// (HTTP 405).
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	// ErrCodePayloadTooLarge marks a request body over the 1 MiB bound
+	// (HTTP 413).
+	ErrCodePayloadTooLarge = "payload_too_large"
+	// ErrCodeNotFound marks a missing resource, e.g. an expired trace id
+	// (HTTP 404).
+	ErrCodeNotFound = "not_found"
+	// ErrCodeInfeasible marks a valid request whose configuration the
+	// search rejected — OOM under every partitioning (HTTP 422).
+	ErrCodeInfeasible = "infeasible"
+	// ErrCodeOverCapacity marks a request that timed out queueing for an
+	// admission slot (HTTP 503).
+	ErrCodeOverCapacity = "over_capacity"
+	// ErrCodeTimeout marks a search that exceeded the request deadline
+	// (HTTP 504).
+	ErrCodeTimeout = "timeout"
+	// ErrCodeShuttingDown marks a request interrupted by server shutdown
+	// (HTTP 503).
+	ErrCodeShuttingDown = "shutting_down"
+	// ErrCodeInternal marks an unexpected server-side failure (HTTP 500).
+	ErrCodeInternal = "internal"
+)
+
+// ErrorInfo is the canonical error body every v1 endpoint returns on every
+// failure path: a stable machine-readable code, a human-readable message and
+// the HTTP status echoed into the body (so the error survives proxies that
+// rewrite statuses).
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"status"`
+}
+
+// ErrorResponse is the canonical error envelope: {"error": {...}}.
+type ErrorResponse struct {
+	Err ErrorInfo `json:"error"`
+}
+
+// NewErrorResponse assembles the canonical envelope.
+func NewErrorResponse(code, message string, status int) ErrorResponse {
+	return ErrorResponse{Err: ErrorInfo{Code: code, Message: message, Status: status}}
+}
+
+// Encode returns the envelope's JSON encoding with a trailing newline.
+// Encoding an ErrorResponse cannot fail (plain strings and an int), so the
+// result is usable unconditionally.
+func (e ErrorResponse) Encode() []byte {
+	body, err := json.Marshal(e)
+	if err != nil {
+		// Unreachable for this shape; keep a valid envelope either way.
+		body = []byte(`{"error":{"code":"internal","message":"encoding error envelope","status":500}}`)
+	}
+	return append(body, '\n')
+}
+
+// ParseErrorResponse decodes a canonical error envelope, rejecting bodies
+// that do not carry one (so clients can distinguish "the server failed" from
+// "something that is not this API answered").
+func ParseErrorResponse(data []byte) (ErrorResponse, error) {
+	var e ErrorResponse
+	if err := json.Unmarshal(data, &e); err != nil {
+		return e, fmt.Errorf("request: decoding error envelope: %w", err)
+	}
+	if e.Err.Code == "" {
+		return e, fmt.Errorf("request: response carries no error envelope")
+	}
+	return e, nil
+}

@@ -72,10 +72,9 @@ func ParseReplanRequest(data []byte) (ReplanRequest, error) {
 // caller should run next (the re-searched plan when Adopted, otherwise the
 // repriced incumbent — replanning never makes things worse).
 type ReplanResponse struct {
-	Version int `json:"version"`
-	// RequestHash is the inner plan request's content hash — the key the
-	// daemon's warm-planner store used.
-	RequestHash string `json:"request_hash"`
+	// ResponseEnvelope carries the inner plan request's content hash — the
+	// key the daemon's warm-planner store used — and its method label.
+	ResponseEnvelope
 	// Adopted reports whether the re-searched plan's simulated iteration
 	// strictly beat the repriced incumbent's.
 	Adopted bool `json:"adopted"`

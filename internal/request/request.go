@@ -57,6 +57,11 @@ type PlanRequest struct {
 	// sample count (default 1, the paper's setting).
 	GlobalBatch int `json:"global_batch"`
 	MicroBatch  int `json:"micro_batch"`
+	// MemoryReserve optionally overrides the fraction of device memory
+	// withheld from the planner's budget, in (0, 1). Zero (or omitted)
+	// keeps the evaluation default; omitempty keeps the canonical encoding
+	// — and therefore every existing request hash — unchanged in that case.
+	MemoryReserve float64 `json:"memory_reserve,omitempty"`
 }
 
 // Normalize applies schema defaults and validates every field, returning the
@@ -112,6 +117,9 @@ func (r PlanRequest) Normalize() (PlanRequest, error) {
 	}
 	if _, err := r.TrainingConfig().MicroBatches(r.Strategy()); err != nil {
 		return r, err
+	}
+	if r.MemoryReserve < 0 || r.MemoryReserve >= 1 {
+		return r, fmt.Errorf("request: memory_reserve must be in [0, 1), got %g", r.MemoryReserve)
 	}
 	return r, nil
 }
@@ -231,6 +239,9 @@ func (r PlanRequest) Options(workers int) (core.Options, error) {
 	opts.Partition = m.Partition
 	opts.IgnoreMemoryLimit = !m.Adaptive()
 	opts.Workers = workers
+	if r.MemoryReserve > 0 {
+		opts.MemoryReserve = r.MemoryReserve
+	}
 	return opts, nil
 }
 
@@ -256,18 +267,40 @@ func (r PlanRequest) NewPlanner(workers int) (*core.Planner, error) {
 	return core.NewPlanner(cfg, cl, n.Strategy(), n.TrainingConfig(), opts)
 }
 
+// ResponseEnvelope is the shared leading section of every v1 success
+// response: the schema version, the content hash of the normalized request
+// that produced it, and the normalized method label. Embedding it first keeps
+// the three fields leading every response body, so clients can decode the
+// envelope alone to verify version and routing before touching the payload.
+type ResponseEnvelope struct {
+	// Version is the schema version of this response.
+	Version int `json:"version"`
+	// RequestHash is the canonical hash of the request that produced the
+	// payload — the daemon's cache key, echoed so clients can verify routing.
+	RequestHash string `json:"request_hash"`
+	// Method echoes the normalized method label of the underlying request.
+	Method string `json:"method"`
+}
+
+// NewResponseEnvelope assembles the envelope for a normalized request.
+func NewResponseEnvelope(r PlanRequest) (ResponseEnvelope, error) {
+	n, err := r.Normalize()
+	if err != nil {
+		return ResponseEnvelope{}, err
+	}
+	hash, err := n.Hash()
+	if err != nil {
+		return ResponseEnvelope{}, err
+	}
+	return ResponseEnvelope{Version: n.Version, RequestHash: hash, Method: n.Method}, nil
+}
+
 // PlanResponse is the versioned reply to a plan request. Its encoding is
 // deterministic (the embedded plan bytes come from the plan's own
 // deterministic serialization), so cached replies are byte-identical to cold
 // ones and a response can itself be content-addressed.
 type PlanResponse struct {
-	// Version is the schema version of this response.
-	Version int `json:"version"`
-	// RequestHash is the canonical hash of the request that produced the
-	// plan — the plan-cache key, echoed so clients can verify routing.
-	RequestHash string `json:"request_hash"`
-	// Method echoes the normalized method label.
-	Method string `json:"method"`
+	ResponseEnvelope
 	// Plan is the plan in its stable execution-engine JSON encoding,
 	// embedded verbatim: extracting this field yields exactly the bytes
 	// `adapipe -o plan.json` writes for the same request.
@@ -276,11 +309,7 @@ type PlanResponse struct {
 
 // NewPlanResponse assembles the response for a solved request.
 func NewPlanResponse(r PlanRequest, p *core.Plan) (PlanResponse, error) {
-	n, err := r.Normalize()
-	if err != nil {
-		return PlanResponse{}, err
-	}
-	hash, err := n.Hash()
+	env, err := NewResponseEnvelope(r)
 	if err != nil {
 		return PlanResponse{}, err
 	}
@@ -288,7 +317,7 @@ func NewPlanResponse(r PlanRequest, p *core.Plan) (PlanResponse, error) {
 	if err != nil {
 		return PlanResponse{}, err
 	}
-	return PlanResponse{Version: n.Version, RequestHash: hash, Method: n.Method, Plan: planJSON}, nil
+	return PlanResponse{ResponseEnvelope: env, Plan: planJSON}, nil
 }
 
 // Encode returns the response's deterministic JSON encoding.
@@ -309,9 +338,7 @@ func ParsePlanResponse(data []byte) (PlanResponse, error) {
 // SimulateResponse is the versioned reply to a simulate request: the plan
 // plus its simulated execution under the method's pipeline schedule.
 type SimulateResponse struct {
-	Version     int    `json:"version"`
-	RequestHash string `json:"request_hash"`
-	Method      string `json:"method"`
+	ResponseEnvelope
 	// Schedule names the pipeline mechanism simulated ("1f1b", "gpipe",
 	// "chimera" or "chimerad").
 	Schedule string `json:"schedule"`

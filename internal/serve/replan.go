@@ -128,7 +128,7 @@ func (s *Server) replanResult(w http.ResponseWriter, r *http.Request, tr *obs.Tr
 	req, hash, herr := s.parseReplanRequest(w, r)
 	tr.Add("decode", obs.CatPhase, 0, decStart, s.clock())
 	if herr != nil {
-		return hash, "", errResult(herr.status, herr.msg)
+		return hash, "", errResult(herr.status, herr.code, herr.msg)
 	}
 	s.replanReqs.Add(1)
 
@@ -140,7 +140,7 @@ func (s *Server) replanResult(w http.ResponseWriter, r *http.Request, tr *obs.Tr
 	s.histQueue.Observe(qEnd.Sub(qStart))
 	if !admitted {
 		s.rejected.Add(1)
-		return hash, "", errResult(http.StatusServiceUnavailable, "admission queue timeout: server at capacity")
+		return hash, "", s.admissionErrResult()
 	}
 	defer s.release()
 
@@ -161,7 +161,7 @@ func (s *Server) replanResult(w http.ResponseWriter, r *http.Request, tr *obs.Tr
 		disposition = ReplanCold
 	}
 	if herr2 != nil {
-		return hash, disposition, errResult(herr2.status, herr2.msg)
+		return hash, disposition, errResult(herr2.status, herr2.code, herr2.msg)
 	}
 	if warm {
 		s.replanWarm.Add(1)
@@ -179,15 +179,16 @@ func (s *Server) runReplan(ctx context.Context, req request.ReplanRequest, hash 
 	if !warm {
 		pl, err := req.Request.NewPlanner(s.cfg.Workers)
 		if err != nil {
-			return nil, &httpError{http.StatusBadRequest, err.Error()}
+			return nil, &httpError{http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error()}
 		}
+		s.attachStore(pl)
 		s.searches.Add(1)
 		s.inFlight.Add(1)
 		plan, err := pl.PlanContext(ctx)
 		s.inFlight.Add(-1)
 		if err != nil {
-			fr := s.searchErrResult(ctx, err)
-			return nil, &httpError{fr.status, "seeding warm planner: " + err.Error()}
+			he := s.searchErr(ctx, err)
+			return nil, &httpError{he.status, he.code, "seeding warm planner: " + err.Error()}
 		}
 		entry.pl, entry.plan = pl, plan
 	}
@@ -199,8 +200,8 @@ func (s *Server) runReplan(ctx context.Context, req request.ReplanRequest, hash 
 	rep, err := pl.ReplanWithScaleContext(ctx, entry.plan, req.Scale)
 	s.inFlight.Add(-1)
 	if err != nil {
-		fr := s.searchErrResult(ctx, err)
-		return nil, &httpError{fr.status, err.Error()}
+		he := s.searchErr(ctx, err)
+		return nil, &httpError{he.status, he.code, err.Error()}
 	}
 	after := pl.StatsSnapshot()
 	s.knapsackRuns.Add(int64(after.KnapsackRuns - before.KnapsackRuns))
@@ -213,11 +214,14 @@ func (s *Server) runReplan(ctx context.Context, req request.ReplanRequest, hash 
 	}
 	planJSON, err := json.Marshal(next)
 	if err != nil {
-		return nil, &httpError{http.StatusInternalServerError, err.Error()}
+		return nil, &httpError{http.StatusInternalServerError, request.ErrCodeInternal, err.Error()}
 	}
 	resp := request.ReplanResponse{
-		Version:               request.Version,
-		RequestHash:           hash,
+		ResponseEnvelope: request.ResponseEnvelope{
+			Version:     request.Version,
+			RequestHash: hash,
+			Method:      req.Request.Method,
+		},
 		Adopted:               rep.Adopted,
 		Incremental:           after.ReplanIncremental > before.ReplanIncremental,
 		InvalidatedIsoClasses: after.InvalidatedIsoClasses - before.InvalidatedIsoClasses,
@@ -228,7 +232,7 @@ func (s *Server) runReplan(ctx context.Context, req request.ReplanRequest, hash 
 	}
 	body, err := resp.Encode()
 	if err != nil {
-		return nil, &httpError{http.StatusInternalServerError, err.Error()}
+		return nil, &httpError{http.StatusInternalServerError, request.ErrCodeInternal, err.Error()}
 	}
 	return body, nil
 }
@@ -237,7 +241,7 @@ func (s *Server) runReplan(ctx context.Context, req request.ReplanRequest, hash 
 // and hashes the inner plan request (the warm-planner identity).
 func (s *Server) parseReplanRequest(w http.ResponseWriter, r *http.Request) (request.ReplanRequest, string, *httpError) {
 	if r.Method != http.MethodPost {
-		return request.ReplanRequest{}, "", &httpError{http.StatusMethodNotAllowed, "replan accepts POST only"}
+		return request.ReplanRequest{}, "", &httpError{http.StatusMethodNotAllowed, request.ErrCodeMethodNotAllowed, "replan accepts POST only"}
 	}
 	body, herr := readRequestBody(w, r)
 	if herr != nil {
@@ -245,11 +249,11 @@ func (s *Server) parseReplanRequest(w http.ResponseWriter, r *http.Request) (req
 	}
 	req, err := request.ParseReplanRequest(body)
 	if err != nil {
-		return request.ReplanRequest{}, "", &httpError{http.StatusBadRequest, err.Error()}
+		return request.ReplanRequest{}, "", &httpError{http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error()}
 	}
 	hash, err := req.Request.Hash()
 	if err != nil {
-		return request.ReplanRequest{}, "", &httpError{http.StatusBadRequest, err.Error()}
+		return request.ReplanRequest{}, "", &httpError{http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error()}
 	}
 	return req, hash, nil
 }

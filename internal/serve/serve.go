@@ -1,8 +1,9 @@
 // Package serve turns the AdaPipe planner into a long-lived service: an HTTP
-// JSON API (POST /v1/plan, POST /v1/simulate, GET /healthz, GET /metrics)
-// over the versioned request schema of internal/request. The serving layer
-// amortizes plan search across requests the same way §5.3 amortizes knapsack
-// solves across ranges inside one search:
+// JSON API (POST /v1/plan, POST /v1/simulate, POST /v1/replan, POST
+// /v1/sweep, GET /v1/trace/{id}, GET /healthz, GET /metrics) over the
+// versioned request schema of internal/request. The serving layer amortizes
+// plan search across requests the same way §5.3 amortizes knapsack solves
+// across ranges inside one search:
 //
 //   - a bounded LRU cache keyed by the request's canonical hash returns
 //     byte-identical responses for repeated searches without re-running the
@@ -12,10 +13,16 @@
 //   - a bounded-concurrency admission gate caps simultaneous searches, and
 //     each admitted search runs under a deadline threaded down into the
 //     parallel search (core.PlanContext / pool.RunContext), so a shutdown or
-//     timeout cancels the knapsack fan-out instead of orphaning it.
+//     timeout cancels the knapsack fan-out instead of orphaning it;
+//   - a shared content-addressed cost store (internal/coststore) sits under
+//     every planner the server constructs, so distinct requests of one cost
+//     family — a sweep's grid points, a replan's cold seed, repeat plans with
+//     different batch sizes — reuse each other's knapsack solves.
 //
 // Everything observable is deterministic: cached, coalesced and cold
-// responses for one request are the same bytes.
+// responses for one request are the same bytes. Every failure, on every
+// endpoint, is the canonical request.ErrorResponse envelope with a stable
+// machine-readable code.
 package serve
 
 import (
@@ -26,12 +33,15 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"adapipe/internal/baseline"
 	"adapipe/internal/core"
+	"adapipe/internal/coststore"
 	"adapipe/internal/obs"
 	"adapipe/internal/pool"
 	"adapipe/internal/request"
@@ -78,6 +88,15 @@ type Config struct {
 	// its iso-cache and partition-DP memo — so repeat replans for one
 	// training run warm-start instead of searching cold.
 	PlannerStoreSize int
+	// CostStoreSize bounds the shared content-addressed cost store in
+	// entries (default 4096; negative disables the store — planners then
+	// solve privately and cross-request reuse stops at the response cache).
+	CostStoreSize int
+	// CostStorePath optionally persists the cost store: an existing snapshot
+	// is loaded by New (a missing file is fine; a corrupt one is logged and
+	// skipped — the daemon must come up either way), and Close writes the
+	// store back before shutdown completes.
+	CostStorePath string
 	// Clock supplies every timestamp the serving layer takes (trace spans,
 	// latency histograms, search-wall counters). Nil selects
 	// core.RealClock(); tests inject a fake for deterministic traces.
@@ -107,6 +126,9 @@ func (c Config) withDefaults() Config {
 	if c.PlannerStoreSize <= 0 {
 		c.PlannerStoreSize = 64
 	}
+	if c.CostStoreSize == 0 {
+		c.CostStoreSize = 4096
+	}
 	if c.Clock == nil {
 		c.Clock = core.RealClock()
 	}
@@ -126,6 +148,11 @@ type Server struct {
 	logger   *slog.Logger
 	traces   *traceStore
 	planners *plannerStore
+	// costs is the shared cost store under every planner this server
+	// constructs; nil when disabled (CostStoreSize < 0).
+	costs *coststore.Store
+	// saveOnce makes the Close-time snapshot save idempotent.
+	saveOnce sync.Once
 
 	// planFn runs one search; tests substitute it to script timing.
 	planFn func(ctx context.Context, req request.PlanRequest) (*core.Plan, error)
@@ -139,6 +166,9 @@ type Server struct {
 	knapsackRuns                   atomic.Int64
 	searchWallNanos                atomic.Int64
 	traceSeq                       atomic.Int64
+	sweepReqs, sweepPoints         atomic.Int64
+	sweepPlanned, sweepDeduped     atomic.Int64
+	sweepCached, sweepFailed       atomic.Int64
 
 	// The log-bucketed latency histograms behind /metrics: end-to-end
 	// request wall time, cold-search wall, admission-queue wait, and plan-
@@ -166,8 +196,30 @@ func New(cfg Config) *Server {
 		traces:   newTraceStore(cfg.TraceBuffer),
 		planners: newPlannerStore(cfg.PlannerStoreSize),
 	}
+	if cfg.CostStoreSize > 0 {
+		s.costs = coststore.New(cfg.CostStoreSize)
+		if cfg.CostStorePath != "" {
+			if err := s.costs.LoadSnapshot(cfg.CostStorePath); err != nil && !os.IsNotExist(err) {
+				// A corrupt or incompatible snapshot must not stop the daemon:
+				// start cold, log the reason, and overwrite it on Close.
+				if cfg.Logger != nil {
+					cfg.Logger.Warn("cost store snapshot not loaded", "path", cfg.CostStorePath, "err", err)
+				}
+			}
+		}
+	}
 	s.planFn = s.searchPlan
 	return s
+}
+
+// attachStore points a freshly constructed planner at the shared cost store.
+// A fingerprint failure just leaves the planner solving privately — plans are
+// identical either way, so the error is deliberately dropped.
+func (s *Server) attachStore(pl *core.Planner) {
+	if s.costs == nil {
+		return
+	}
+	_ = pl.SetCostSource(s.costs)
 }
 
 // newTracer mints the tracer of one request, or nil when tracing is
@@ -181,10 +233,21 @@ func (s *Server) newTracer() *obs.Tracer {
 	return obs.NewTracer(fmt.Sprintf("t%06d", s.traceSeq.Add(1)), s.clock, 0)
 }
 
-// Close cancels the server's base context: queued requests stop waiting for
-// admission and running searches unwind through their contexts. Safe to call
-// more than once.
-func (s *Server) Close() { s.cancel() }
+// Close cancels the server's base context — queued requests stop waiting for
+// admission and running searches unwind through their contexts — and then
+// drains the cost store to its snapshot path, if one was configured. Safe to
+// call more than once; the snapshot is written once.
+func (s *Server) Close() {
+	s.cancel()
+	s.saveOnce.Do(func() {
+		if s.costs == nil || s.cfg.CostStorePath == "" {
+			return
+		}
+		if err := s.costs.SaveSnapshot(s.cfg.CostStorePath); err != nil && s.logger != nil {
+			s.logger.Warn("cost store snapshot not saved", "path", s.cfg.CostStorePath, "err", err)
+		}
+	})
+}
 
 // Handler returns the HTTP handler with all routes mounted.
 func (s *Server) Handler() http.Handler {
@@ -194,37 +257,53 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	mux.HandleFunc("/v1/replan", s.handleReplan)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	return mux
 }
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() obs.ServeStats {
-	return obs.ServeStats{
-		PlanRequests:      s.planReqs.Load(),
-		SimulateRequests:  s.simReqs.Load(),
-		CacheHits:         s.hits.Load(),
-		CacheMisses:       s.misses.Load(),
-		CacheEvictions:    s.cache.Evictions(),
-		CacheEntries:      int64(s.cache.Len()),
-		Coalesced:         s.coalescedCount.Load(),
-		Searches:          s.searches.Load(),
-		KnapsackRuns:      s.knapsackRuns.Load(),
-		SearchWallSeconds: time.Duration(s.searchWallNanos.Load()).Seconds(),
-		ReplanRequests:    s.replanReqs.Load(),
-		ReplanIncremental: s.replanWarm.Load(),
-		ReplanCold:        s.replanCold.Load(),
-		ReplanAdopted:     s.replanAdopted.Load(),
-		ReplanPlanners:    int64(s.planners.Len()),
-		InFlight:          s.inFlight.Load(),
-		Rejected:          s.rejected.Load(),
-		Errors:            s.errorCount.Load(),
+	st := obs.ServeStats{
+		PlanRequests:       s.planReqs.Load(),
+		SimulateRequests:   s.simReqs.Load(),
+		CacheHits:          s.hits.Load(),
+		CacheMisses:        s.misses.Load(),
+		CacheEvictions:     s.cache.Evictions(),
+		CacheEntries:       int64(s.cache.Len()),
+		Coalesced:          s.coalescedCount.Load(),
+		Searches:           s.searches.Load(),
+		KnapsackRuns:       s.knapsackRuns.Load(),
+		SearchWallSeconds:  time.Duration(s.searchWallNanos.Load()).Seconds(),
+		ReplanRequests:     s.replanReqs.Load(),
+		ReplanIncremental:  s.replanWarm.Load(),
+		ReplanCold:         s.replanCold.Load(),
+		ReplanAdopted:      s.replanAdopted.Load(),
+		ReplanPlanners:     int64(s.planners.Len()),
+		InFlight:           s.inFlight.Load(),
+		Rejected:           s.rejected.Load(),
+		Errors:             s.errorCount.Load(),
+		SweepRequests:      s.sweepReqs.Load(),
+		SweepPoints:        s.sweepPoints.Load(),
+		SweepPointsPlanned: s.sweepPlanned.Load(),
+		SweepPointsDeduped: s.sweepDeduped.Load(),
+		SweepPointsCached:  s.sweepCached.Load(),
+		SweepPointsFailed:  s.sweepFailed.Load(),
 	}
+	if s.costs != nil {
+		cs := s.costs.StatsSnapshot()
+		st.CostStoreEntries = cs.Entries
+		st.CostStoreHits = cs.Hits
+		st.CostStoreMisses = cs.Misses
+		st.CostStoreShared = cs.Shared
+		st.CostStoreEvictions = cs.Evictions
+	}
+	return st
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "healthz accepts GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, request.ErrCodeMethodNotAllowed, "healthz accepts GET only")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -233,7 +312,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "metrics accepts GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, request.ErrCodeMethodNotAllowed, "metrics accepts GET only")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -254,18 +333,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // the renderer's ordering is deterministic).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "trace accepts GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, request.ErrCodeMethodNotAllowed, "trace accepts GET only")
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
 	tr, ok := s.traces.Get(id)
 	if id == "" || !ok {
-		s.writeError(w, http.StatusNotFound, "unknown trace id (the ring keeps the most recent traces only)")
+		s.writeError(w, http.StatusNotFound, request.ErrCodeNotFound, "unknown trace id (the ring keeps the most recent traces only)")
 		return
 	}
 	body, err := tr.Chrome()
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		s.writeError(w, http.StatusInternalServerError, request.ErrCodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -302,7 +381,7 @@ func (s *Server) planResult(w http.ResponseWriter, r *http.Request, tr *obs.Trac
 	req, hash, herr := s.parsePlanRequest(w, r)
 	tr.Add("decode", obs.CatPhase, 0, decStart, s.clock())
 	if herr != nil {
-		return hash, "", errResult(herr.status, herr.msg)
+		return hash, "", errResult(herr.status, herr.code, herr.msg)
 	}
 	s.planReqs.Add(1)
 
@@ -323,7 +402,7 @@ func (s *Server) planResult(w http.ResponseWriter, r *http.Request, tr *obs.Trac
 	if err != nil {
 		// This waiter's own context ended before the leader finished; the
 		// leader keeps running for everyone else.
-		return hash, "", errResult(http.StatusGatewayTimeout, "request cancelled while waiting for a coalesced search")
+		return hash, "", errResult(http.StatusGatewayTimeout, request.ErrCodeTimeout, "request cancelled while waiting for a coalesced search")
 	}
 	if coalesced {
 		// The search ran under the leader's trace; this request only
@@ -350,7 +429,7 @@ func (s *Server) runPlanSearch(req request.PlanRequest, hash string, tr *obs.Tra
 	s.histQueue.Observe(qEnd.Sub(qStart))
 	if !admitted {
 		s.rejected.Add(1)
-		return errResult(http.StatusServiceUnavailable, "admission queue timeout: server at capacity")
+		return s.admissionErrResult()
 	}
 	defer s.release()
 
@@ -367,11 +446,11 @@ func (s *Server) runPlanSearch(req request.PlanRequest, hash string, tr *obs.Tra
 	encStart := s.clock()
 	resp, err := request.NewPlanResponse(req, plan)
 	if err != nil {
-		return errResult(http.StatusInternalServerError, err.Error())
+		return errResult(http.StatusInternalServerError, request.ErrCodeInternal, err.Error())
 	}
 	body, err := resp.Encode()
 	if err != nil {
-		return errResult(http.StatusInternalServerError, err.Error())
+		return errResult(http.StatusInternalServerError, request.ErrCodeInternal, err.Error())
 	}
 	s.cache.Put(hash, body)
 	tr.Add("encode", obs.CatPhase, 0, encStart, s.clock())
@@ -406,7 +485,7 @@ func (s *Server) simResult(w http.ResponseWriter, r *http.Request, tr *obs.Trace
 	req, hash, herr := s.parsePlanRequest(w, r)
 	tr.Add("decode", obs.CatPhase, 0, decStart, s.clock())
 	if herr != nil {
-		return hash, "", errResult(herr.status, herr.msg)
+		return hash, "", errResult(herr.status, herr.code, herr.msg)
 	}
 	s.simReqs.Add(1)
 
@@ -418,21 +497,21 @@ func (s *Server) simResult(w http.ResponseWriter, r *http.Request, tr *obs.Trace
 	s.histQueue.Observe(qEnd.Sub(qStart))
 	if !admitted {
 		s.rejected.Add(1)
-		return hash, "", errResult(http.StatusServiceUnavailable, "admission queue timeout: server at capacity")
+		return hash, "", s.admissionErrResult()
 	}
 	defer s.release()
 
 	meth, err := req.MethodConfig()
 	if err != nil {
-		return hash, "", errResult(http.StatusBadRequest, err.Error())
+		return hash, "", errResult(http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error())
 	}
 	cfg, err := req.ModelConfig()
 	if err != nil {
-		return hash, "", errResult(http.StatusBadRequest, err.Error())
+		return hash, "", errResult(http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error())
 	}
 	cl, err := req.ClusterConfig()
 	if err != nil {
-		return hash, "", errResult(http.StatusBadRequest, err.Error())
+		return hash, "", errResult(http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error())
 	}
 	s.searches.Add(1)
 	s.inFlight.Add(1)
@@ -447,18 +526,20 @@ func (s *Server) simResult(w http.ResponseWriter, r *http.Request, tr *obs.Trace
 		return hash, CacheMiss, s.searchErrResult(ctx, outcome.Err)
 	}
 	if outcome.Plan == nil {
-		return hash, "", errResult(http.StatusUnprocessableEntity, "configuration is infeasible (OOM) under the requested method")
+		return hash, "", errResult(http.StatusUnprocessableEntity, request.ErrCodeInfeasible, "configuration is infeasible (OOM) under the requested method")
 	}
 	s.knapsackRuns.Add(int64(outcome.Plan.Search.KnapsackRuns))
 	encStart := s.clock()
 	planJSON, err := json.Marshal(outcome.Plan)
 	if err != nil {
-		return hash, "", errResult(http.StatusInternalServerError, err.Error())
+		return hash, "", errResult(http.StatusInternalServerError, request.ErrCodeInternal, err.Error())
 	}
 	resp := request.SimulateResponse{
-		Version:     request.Version,
-		RequestHash: hash,
-		Method:      meth.Name,
+		ResponseEnvelope: request.ResponseEnvelope{
+			Version:     request.Version,
+			RequestHash: hash,
+			Method:      meth.Name,
+		},
 		Schedule:    request.ScheduleName(meth.Schedule),
 		IterSec:     outcome.Sim.IterTime,
 		BubbleRatio: outcome.Sim.BubbleRatio(),
@@ -468,15 +549,18 @@ func (s *Server) simResult(w http.ResponseWriter, r *http.Request, tr *obs.Trace
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
-		return hash, "", errResult(http.StatusInternalServerError, err.Error())
+		return hash, "", errResult(http.StatusInternalServerError, request.ErrCodeInternal, err.Error())
 	}
 	tr.Add("encode", obs.CatPhase, 0, encStart, s.clock())
 	return hash, CacheMiss, flightResult{status: http.StatusOK, body: body}
 }
 
-// httpError carries a failure's HTTP mapping out of the phase helpers.
+// httpError carries a failure's HTTP mapping out of the phase helpers: the
+// status, the stable machine-readable code of the canonical error envelope,
+// and the human-readable message.
 type httpError struct {
 	status int
+	code   string
 	msg    string
 }
 
@@ -487,9 +571,9 @@ func readRequestBody(w http.ResponseWriter, r *http.Request) ([]byte, *httpError
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return nil, &httpError{http.StatusRequestEntityTooLarge, "request body exceeds 1 MiB"}
+			return nil, &httpError{http.StatusRequestEntityTooLarge, request.ErrCodePayloadTooLarge, "request body exceeds 1 MiB"}
 		}
-		return nil, &httpError{http.StatusBadRequest, "reading request body: " + err.Error()}
+		return nil, &httpError{http.StatusBadRequest, request.ErrCodeInvalidRequest, "reading request body: " + err.Error()}
 	}
 	return body, nil
 }
@@ -497,7 +581,7 @@ func readRequestBody(w http.ResponseWriter, r *http.Request) ([]byte, *httpError
 // parsePlanRequest reads, parses, validates and hashes the request body.
 func (s *Server) parsePlanRequest(w http.ResponseWriter, r *http.Request) (request.PlanRequest, string, *httpError) {
 	if r.Method != http.MethodPost {
-		return request.PlanRequest{}, "", &httpError{http.StatusMethodNotAllowed, "plan endpoints accept POST only"}
+		return request.PlanRequest{}, "", &httpError{http.StatusMethodNotAllowed, request.ErrCodeMethodNotAllowed, "plan endpoints accept POST only"}
 	}
 	body, herr := readRequestBody(w, r)
 	if herr != nil {
@@ -505,11 +589,11 @@ func (s *Server) parsePlanRequest(w http.ResponseWriter, r *http.Request) (reque
 	}
 	req, err := request.ParsePlanRequest(body)
 	if err != nil {
-		return request.PlanRequest{}, "", &httpError{http.StatusBadRequest, err.Error()}
+		return request.PlanRequest{}, "", &httpError{http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error()}
 	}
 	hash, err := req.Hash()
 	if err != nil {
-		return request.PlanRequest{}, "", &httpError{http.StatusBadRequest, err.Error()}
+		return request.PlanRequest{}, "", &httpError{http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error()}
 	}
 	return req, hash, nil
 }
@@ -549,30 +633,48 @@ func (s *Server) admit() (ctx context.Context, cancel context.CancelFunc, admitt
 func (s *Server) release() { <-s.sem }
 
 // searchPlan is the production planFn: build the planner from the request
-// schema and run the context-aware search.
+// schema, point it at the shared cost store, and run the context-aware
+// search.
 func (s *Server) searchPlan(ctx context.Context, req request.PlanRequest) (*core.Plan, error) {
 	pl, err := req.NewPlanner(s.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
+	s.attachStore(pl)
 	s.searches.Add(1)
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	return pl.PlanContext(ctx)
 }
 
-// searchErrResult maps a failed search onto a status: deadline → 504,
-// shutdown → 503, anything else (OOM, invalid config the planner rejected) →
-// 422.
-func (s *Server) searchErrResult(ctx context.Context, err error) flightResult {
+// searchErr maps a failed search onto a status and canonical code: deadline →
+// 504 timeout, shutdown → 503 shutting_down, anything else (OOM, invalid
+// config the planner rejected) → 422 infeasible.
+func (s *Server) searchErr(ctx context.Context, err error) *httpError {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return errResult(http.StatusGatewayTimeout, "search exceeded the request deadline")
+		return &httpError{http.StatusGatewayTimeout, request.ErrCodeTimeout, "search exceeded the request deadline"}
 	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
-		return errResult(http.StatusServiceUnavailable, "server shutting down")
+		return &httpError{http.StatusServiceUnavailable, request.ErrCodeShuttingDown, "server shutting down"}
 	default:
-		return errResult(http.StatusUnprocessableEntity, err.Error())
+		return &httpError{http.StatusUnprocessableEntity, request.ErrCodeInfeasible, err.Error()}
 	}
+}
+
+// searchErrResult is searchErr rendered as a ready-to-write flightResult.
+func (s *Server) searchErrResult(ctx context.Context, err error) flightResult {
+	he := s.searchErr(ctx, err)
+	return errResult(he.status, he.code, he.msg)
+}
+
+// admissionErrResult maps an admission failure onto its canonical code: a
+// shutdown cancels queued waiters (shutting_down), everything else is the
+// queue deadline expiring under load (over_capacity). Both map to 503.
+func (s *Server) admissionErrResult() flightResult {
+	if s.base.Err() != nil {
+		return errResult(http.StatusServiceUnavailable, request.ErrCodeShuttingDown, "server shutting down")
+	}
+	return errResult(http.StatusServiceUnavailable, request.ErrCodeOverCapacity, "admission queue timeout: server at capacity")
 }
 
 // mustOptions builds the method-applied planner options; the request was
@@ -587,11 +689,11 @@ func mustOptions(req request.PlanRequest, workers int) core.Options {
 	return opts
 }
 
-func errResult(status int, msg string) flightResult {
-	body, _ := json.Marshal(struct {
-		Error string `json:"error"`
-	}{Error: msg})
-	return flightResult{status: status, body: append(body, '\n')}
+// errResult builds a failed flightResult carrying the canonical error
+// envelope {"error": {"code", "message", "status"}} — the one failure shape
+// every /v1/* endpoint speaks.
+func errResult(status int, code, msg string) flightResult {
+	return flightResult{status: status, body: request.NewErrorResponse(code, msg, status).Encode()}
 }
 
 // writeResult emits a search result with the cache-disposition headers
@@ -612,9 +714,9 @@ func (s *Server) writeResult(w http.ResponseWriter, hash, disposition string, re
 	w.Write(res.body)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
 	s.errorCount.Add(1)
-	res := errResult(status, msg)
+	res := errResult(status, code, msg)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(res.status)
 	w.Write(res.body)

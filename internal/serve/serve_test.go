@@ -460,11 +460,11 @@ func TestBadRequestsAreRejected(t *testing.T) {
 		if resp.StatusCode != c.want {
 			t.Errorf("%s: status %d, want %d (%s)", c.body, resp.StatusCode, c.want, data)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		e, err := request.ParseErrorResponse(data)
+		if err != nil {
 			t.Errorf("%s: error body not machine readable: %s", c.body, data)
+		} else if e.Err.Code != request.ErrCodeInvalidRequest || e.Err.Status != c.want {
+			t.Errorf("%s: error envelope %+v, want code %q status %d", c.body, e.Err, request.ErrCodeInvalidRequest, c.want)
 		}
 	}
 	// GET on a POST endpoint.

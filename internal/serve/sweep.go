@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"adapipe/internal/obs"
+	"adapipe/internal/request"
+)
+
+// handleSweep serves POST /v1/sweep: one request, a server-side grid of plan
+// searches. The sweep is where the shared cost store earns its keep — grid
+// points of one cost family (say a global-batch axis) differ only in the
+// partition DP, so every point after the first answers its knapsack lookups
+// from the store and the whole grid costs barely more knapsack work than a
+// single point (asserted by servesmoke against /metrics).
+//
+// Sweeps ride the same machinery as single plans: the whole sweep is cached
+// and coalesced under the sweep's own canonical hash, each point's plan
+// response is cached under the point's hash (so /v1/plan and /v1/sweep feed
+// each other's caches), and the sweep holds exactly one admission slot for
+// its whole run — a 256-point sweep cannot starve interactive requests any
+// harder than one slow plan.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	tr := s.newTracer()
+	reqStart := s.clock()
+	hash, disposition, res := s.sweepResult(w, r, tr)
+	reqEnd := s.clock()
+	tr.Add("request", obs.CatRequest, 0, reqStart, reqEnd)
+	s.histRequest.Observe(reqEnd.Sub(reqStart))
+	s.traces.Put(tr)
+	if id := tr.ID(); id != "" {
+		w.Header().Set(headerTrace, id)
+	}
+	s.writeResult(w, hash, disposition, res)
+	s.logRequest(r, tr.ID(), hash, disposition, res.status, reqEnd.Sub(reqStart))
+}
+
+// sweepResult runs a sweep request through its phases — decode, cache
+// lookup, coalesced grid run — mirroring planResult.
+func (s *Server) sweepResult(w http.ResponseWriter, r *http.Request, tr *obs.Tracer) (hash, disposition string, res flightResult) {
+	decStart := s.clock()
+	req, hash, herr := s.parseSweepRequest(w, r)
+	tr.Add("decode", obs.CatPhase, 0, decStart, s.clock())
+	if herr != nil {
+		return hash, "", errResult(herr.status, herr.code, herr.msg)
+	}
+	s.sweepReqs.Add(1)
+
+	lookStart := s.clock()
+	body, cached := s.cache.Get(hash)
+	lookEnd := s.clock()
+	tr.Add("cache", obs.CatPhase, 0, lookStart, lookEnd)
+	s.histCache.Observe(lookEnd.Sub(lookStart))
+	if cached {
+		s.hits.Add(1)
+		return hash, CacheHit, flightResult{status: http.StatusOK, body: body}
+	}
+
+	flightStart := s.clock()
+	fres, coalesced, err := s.flight.Do(r.Context(), hash, func() flightResult {
+		return s.runSweep(req, hash, tr)
+	})
+	if err != nil {
+		return hash, "", errResult(http.StatusGatewayTimeout, request.ErrCodeTimeout, "request cancelled while waiting for a coalesced sweep")
+	}
+	if coalesced {
+		tr.Add("coalesce", obs.CatPhase, 0, flightStart, s.clock())
+		s.coalescedCount.Add(1)
+		return hash, CacheCoalesced, fres
+	}
+	if fres.status == http.StatusOK {
+		s.misses.Add(1)
+	}
+	return hash, CacheMiss, fres
+}
+
+// runSweep is the singleflight leader body: admission (one slot for the
+// whole grid), point-by-point planning with dedup and response-cache reuse,
+// ranking, encoding, cache insertion. A deadline or shutdown mid-grid fails
+// the whole sweep — the cost store's entries are complete-or-absent, so an
+// aborted sweep leaves it clean.
+func (s *Server) runSweep(req request.SweepRequest, hash string, tr *obs.Tracer) flightResult {
+	qStart := s.clock()
+	ctx, cancel, admitted := s.admit()
+	defer cancel()
+	qEnd := s.clock()
+	tr.Add("queue", obs.CatPhase, 0, qStart, qEnd)
+	s.histQueue.Observe(qEnd.Sub(qStart))
+	if !admitted {
+		s.rejected.Add(1)
+		return s.admissionErrResult()
+	}
+	defer s.release()
+
+	points, err := req.Expand()
+	if err != nil {
+		// Unreachable after ParseSweepRequest normalized the sweep.
+		return errResult(http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error())
+	}
+	s.sweepPoints.Add(int64(len(points)))
+
+	results := make([]request.SweepPointResult, len(points))
+	var stats request.SweepStats
+	stats.Points = len(points)
+	// seen maps a point's canonical hash to the first result computed for it;
+	// duplicate grid points copy that result instead of planning again.
+	seen := make(map[string]*request.SweepPointResult, len(points))
+	for i, pt := range points {
+		if ctx.Err() != nil {
+			return s.searchErrResult(ctx, ctx.Err())
+		}
+		ptStart := s.clock()
+		results[i] = s.sweepPoint(ctx, i, pt, seen, &stats)
+		tr.Add(fmt.Sprintf("point[%03d]", i), obs.CatPhase, 0, ptStart, s.clock())
+		if results[i].Error != nil && ctx.Err() != nil {
+			// The point failed because the sweep's context ended; report the
+			// cancellation, not a half-built grid.
+			return s.searchErrResult(ctx, ctx.Err())
+		}
+	}
+	s.sweepPlanned.Add(int64(stats.Planned))
+	s.sweepDeduped.Add(int64(stats.Deduped))
+	s.sweepCached.Add(int64(stats.Cached))
+	s.sweepFailed.Add(int64(stats.Failed))
+
+	encStart := s.clock()
+	resp := request.SweepResponse{
+		ResponseEnvelope: request.ResponseEnvelope{
+			Version:     request.Version,
+			RequestHash: hash,
+			Method:      req.Base.Method,
+		},
+		Points:  results,
+		Ranking: rankPoints(results, req.TopK),
+		Stats:   stats,
+	}
+	body, err := resp.Encode()
+	if err != nil {
+		return errResult(http.StatusInternalServerError, request.ErrCodeInternal, err.Error())
+	}
+	s.cache.Put(hash, body)
+	tr.Add("encode", obs.CatPhase, 0, encStart, s.clock())
+	return flightResult{status: http.StatusOK, body: body}
+}
+
+// sweepPoint resolves one grid point: normalize, dedup against earlier
+// points, consult the response cache, and only then run a fresh search. Every
+// failure is a per-point canonical error — one infeasible combination never
+// sinks the rest of the grid.
+func (s *Server) sweepPoint(ctx context.Context, i int, pt request.PlanRequest, seen map[string]*request.SweepPointResult, stats *request.SweepStats) request.SweepPointResult {
+	res := request.SweepPointResult{Index: i, Request: pt}
+	np, err := pt.Normalize()
+	if err != nil {
+		stats.Failed++
+		res.Error = &request.ErrorInfo{Code: request.ErrCodeInvalidRequest, Message: err.Error(), Status: http.StatusBadRequest}
+		return res
+	}
+	ptHash, err := np.Hash()
+	if err != nil {
+		stats.Failed++
+		res.Error = &request.ErrorInfo{Code: request.ErrCodeInvalidRequest, Message: err.Error(), Status: http.StatusBadRequest}
+		return res
+	}
+	res.RequestHash = ptHash
+
+	if first, dup := seen[ptHash]; dup {
+		if first.Error != nil {
+			stats.Failed++
+		} else {
+			stats.Deduped++
+		}
+		res.IterSec, res.Plan, res.Error = first.IterSec, first.Plan, first.Error
+		return res
+	}
+
+	if body, cached := s.cache.Get(ptHash); cached {
+		if pr, err := request.ParsePlanResponse(body); err == nil {
+			s.hits.Add(1)
+			stats.Cached++
+			res.Plan = pr.Plan
+			res.IterSec, _ = request.PlanIterSec(pr.Plan)
+			seen[ptHash] = &res
+			return res
+		}
+	}
+
+	plan, err := s.planFn(ctx, np)
+	if err != nil {
+		he := s.searchErr(ctx, err)
+		stats.Failed++
+		res.Error = &request.ErrorInfo{Code: he.code, Message: he.msg, Status: he.status}
+		seen[ptHash] = &res
+		return res
+	}
+	stats.Planned++
+	s.knapsackRuns.Add(int64(plan.Search.KnapsackRuns))
+	pr, err := request.NewPlanResponse(np, plan)
+	if err != nil {
+		stats.Failed++
+		res.Error = &request.ErrorInfo{Code: request.ErrCodeInternal, Message: err.Error(), Status: http.StatusInternalServerError}
+		seen[ptHash] = &res
+		return res
+	}
+	if body, err := pr.Encode(); err == nil {
+		// Feed the point's plan response into the shared cache: a later
+		// /v1/plan for this exact point is a byte-identical cache hit.
+		s.cache.Put(ptHash, body)
+	}
+	res.Plan = pr.Plan
+	res.IterSec, _ = request.PlanIterSec(pr.Plan)
+	seen[ptHash] = &res
+	return res
+}
+
+// rankPoints orders the feasible points by ascending modeled iteration time,
+// ties broken by expansion index, truncated to topK when topK > 0.
+func rankPoints(results []request.SweepPointResult, topK int) []int {
+	ranking := make([]int, 0, len(results))
+	for i := range results {
+		if results[i].Error == nil {
+			ranking = append(ranking, i)
+		}
+	}
+	sort.SliceStable(ranking, func(a, b int) bool {
+		ra, rb := results[ranking[a]], results[ranking[b]]
+		if ra.IterSec != rb.IterSec {
+			return ra.IterSec < rb.IterSec
+		}
+		return ra.Index < rb.Index
+	})
+	if topK > 0 && len(ranking) > topK {
+		ranking = ranking[:topK]
+	}
+	return ranking
+}
+
+// parseSweepRequest reads, parses, validates and hashes the sweep body.
+func (s *Server) parseSweepRequest(w http.ResponseWriter, r *http.Request) (request.SweepRequest, string, *httpError) {
+	if r.Method != http.MethodPost {
+		return request.SweepRequest{}, "", &httpError{http.StatusMethodNotAllowed, request.ErrCodeMethodNotAllowed, "sweep accepts POST only"}
+	}
+	body, herr := readRequestBody(w, r)
+	if herr != nil {
+		return request.SweepRequest{}, "", herr
+	}
+	req, err := request.ParseSweepRequest(body)
+	if err != nil {
+		return request.SweepRequest{}, "", &httpError{http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error()}
+	}
+	hash, err := req.Hash()
+	if err != nil {
+		return request.SweepRequest{}, "", &httpError{http.StatusBadRequest, request.ErrCodeInvalidRequest, err.Error()}
+	}
+	return req, hash, nil
+}

@@ -28,10 +28,31 @@ type (
 	// field embeds the plan to run next, and Incremental reports whether the
 	// re-search warm-started from the previous search's partition-DP memo.
 	ReplanResponse = request.ReplanResponse
+	// SweepRequest is one grid-sweep request: a base PlanRequest plus the
+	// axes to vary. The server expands the grid (bounded by MaxSweepPoints),
+	// plans every point against the shared cost store, and ranks the results.
+	SweepRequest = request.SweepRequest
+	// SweepAxes lists the per-field value lists a sweep varies.
+	SweepAxes = request.SweepAxes
+	// SweepResponse is the versioned reply to a sweep request.
+	SweepResponse = request.SweepResponse
+	// SweepPointResult is one expanded grid point's outcome within a sweep.
+	SweepPointResult = request.SweepPointResult
+	// SweepStats summarizes how a sweep's points were satisfied (planned,
+	// cached, deduplicated, failed).
+	SweepStats = request.SweepStats
+	// ErrorInfo is the machine-readable error payload every /v1 endpoint
+	// returns on failure: a stable code, a human message and the HTTP status.
+	ErrorInfo = request.ErrorInfo
+	// ErrorResponse is the canonical failure envelope {"error": {...}}.
+	ErrorResponse = request.ErrorResponse
 )
 
 // RequestVersion is the current request/response schema version.
 const RequestVersion = request.Version
+
+// MaxSweepPoints bounds the server-side grid expansion of one sweep request.
+const MaxSweepPoints = request.MaxSweepPoints
 
 // ParsePlanRequest decodes and validates a request from JSON: unknown fields
 // and trailing data are rejected, defaults are applied, and the result is
@@ -48,6 +69,22 @@ func ParseReplanRequest(data []byte) (ReplanRequest, error) { return request.Par
 // ParseReplanResponse decodes a replan response, checking the schema version.
 func ParseReplanResponse(data []byte) (ReplanResponse, error) {
 	return request.ParseReplanResponse(data)
+}
+
+// ParseSweepRequest decodes and validates a sweep request from JSON with the
+// same strictness as ParsePlanRequest; the base request and every axis value
+// are validated before any planning starts.
+func ParseSweepRequest(data []byte) (SweepRequest, error) { return request.ParseSweepRequest(data) }
+
+// ParseSweepResponse decodes a sweep response, checking the schema version.
+func ParseSweepResponse(data []byte) (SweepResponse, error) {
+	return request.ParseSweepResponse(data)
+}
+
+// ParseErrorResponse decodes the canonical {"error": {...}} failure envelope
+// that every /v1 endpoint returns on non-2xx statuses.
+func ParseErrorResponse(data []byte) (ErrorResponse, error) {
+	return request.ParseErrorResponse(data)
 }
 
 // NewPlannerFromRequest constructs the planner a request describes. workers
